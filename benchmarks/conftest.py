@@ -1,0 +1,47 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each ``test_bench_*.py`` file regenerates one table or figure from the
+paper's evaluation (see DESIGN.md §2 for the experiment index).  The
+benchmarks print the same rows/series the paper reports, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the full evaluation.  Shape assertions (who wins, by what
+order) are embedded so regressions fail loudly; absolute values are
+recorded in EXPERIMENTS.md.
+"""
+
+import random
+
+import pytest
+
+from repro.workload.generator import SyntheticTraceConfig, generate_trace
+
+#: Scaled-down stand-ins for the paper's 10.8M-user month.
+BENCH_USERS = 10_000
+BENCH_DAYS = 7
+
+
+@pytest.fixture(scope="session")
+def bench_trace():
+    """One week of the synthetic mobile workload (the paper also uses
+    'one week of the phone call data' for the cost simulations)."""
+    cfg = SyntheticTraceConfig(n_users=BENCH_USERS, days=BENCH_DAYS,
+                               seed=20150817)
+    return generate_trace(cfg)
+
+
+@pytest.fixture(scope="session")
+def bench_day_trace(bench_trace):
+    """The first day of the week, for the heavier per-call analyses."""
+    return bench_trace.window(0.0, 86400.0)
+
+
+def print_table(title, headers, rows):
+    """Render one experiment's output table."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

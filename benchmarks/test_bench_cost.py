@@ -1,0 +1,83 @@
+"""E6 (§4.1.6): dollar cost per user/month on EC2-style pricing.
+
+Paper: "The cost ranges from $0.10 to $1.14 per month per subscriber.
+[...] Our estimates show that it will cost two orders of magnitude more
+per user to run Herd [without SPs] ($10-100 per month per user). [...]
+the cost per paying subscriber is an additional $0.14 per dollar we
+pay SPs."
+"""
+
+import pytest
+
+from repro.analysis.cost import CostModel
+
+from conftest import print_table
+
+N_USERS = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel()
+
+
+def test_bench_cost_sweep(benchmark, model):
+    def sweep():
+        rows = []
+        for cpc in (50, 10, 5):
+            m = CostModel(clients_per_channel=cpc)
+            for duty in (0.01, 0.02):
+                for inter in (0.1, 1.0):
+                    cost = m.monthly_cost(N_USERS, duty_cycle=duty,
+                                          interzone_fraction=inter,
+                                          use_sps=True)
+                    rows.append((cpc, duty, inter, cost.per_user))
+        return rows
+
+    rows = benchmark(sweep)
+    printable = [(cpc, f"{duty:.0%}", f"{inter:.0%}",
+                  f"${per_user:.2f}")
+                 for cpc, duty, inter, per_user in rows]
+    print_table("E6: $/user/month with SPs (sweep)",
+                ("clients/channel", "duty", "interzone", "$/user"),
+                printable)
+    per_user = [r[3] for r in rows]
+    lo, hi = min(per_user), max(per_user)
+    print_table("E6: cost range per user/month",
+                ("config", "ours", "paper"),
+                [("with SPs", f"${lo:.2f} – ${hi:.2f}",
+                  "$0.10 – $1.14")])
+    # Shape: the with-SP range overlaps the paper's band.
+    assert lo < 1.14 and hi > 0.10
+
+
+def test_cost_without_sps_two_orders_higher(model):
+    sp_lo, sp_hi = model.per_user_range(N_USERS, use_sps=True)
+    no_lo, no_hi = model.per_user_range(N_USERS, use_sps=False)
+    print_table("E6: with vs without SPs ($/user/month)",
+                ("config", "ours", "paper"),
+                [("with SPs", f"${sp_lo:.2f} – ${sp_hi:.2f}",
+                  "$0.10 – $1.14"),
+                 ("without SPs", f"${no_lo:.2f} – ${no_hi:.2f}",
+                  "$10 – $100")])
+    assert no_lo > 3.0            # dollars, not dimes
+    assert no_lo > 10 * sp_hi     # "two orders of magnitude more"
+    assert sp_lo > 0.01
+
+
+def test_cost_breakdown_structure(model):
+    cost = model.monthly_cost(N_USERS, use_sps=True)
+    print_table("E6: with-SP cost breakdown ($/month)",
+                ("instances", "internet egress", "inter-region",
+                 "intra-DC"),
+                [(f"${cost.instances:,.0f}",
+                  f"${cost.internet_egress:,.0f}",
+                  f"${cost.inter_region:,.0f}",
+                  f"${cost.intra_dc:,.0f}")])
+    # "traffic to SPs and clients costs the most" / intra-DC is free.
+    assert cost.internet_egress > cost.inter_region
+    assert cost.intra_dc == 0.0
+
+
+def test_sp_payment_overhead():
+    assert CostModel.sp_payment_overhead(1.0) == pytest.approx(0.14)

@@ -1,0 +1,123 @@
+"""Benches for the paper's extension features.
+
+Covers the mechanisms the paper specifies but does not evaluate
+directly:
+
+* FEC on lossy SP paths (§3.6.4) — residual loss and MOS rescue.
+* Sybil economics (§3.7) — channel capture vs adversary spend.
+* The wired full-protocol deployment — real encrypted calls timed over
+  the simulated WAN (the executable version of the EC2 prototype).
+* Churn exposure (§3.1/§3.7) — what always-on connectivity buys
+  against long-term intersection.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.sybil import (
+    channel_capture_probability,
+    sybil_attack_cost,
+    sybils_needed_for_capture,
+)
+from repro.attacks.longterm import long_term_intersection
+from repro.simulation.churn import AvailabilityModel, exposure_rounds
+from repro.simulation.wired import WiredHerd
+from repro.voip.emodel import EModel
+from repro.voip.fec import effective_loss, k_for_target_loss
+
+from conftest import print_table
+
+
+def test_bench_fec_rescues_lossy_sps(benchmark):
+    """§3.6.4: error-correcting codes reduce a lossy SP's effective
+    loss "to acceptable levels" — quantified via the E-Model."""
+    model = EModel()
+    benchmark(effective_loss, 0.05, 8)
+    rows = []
+    for raw in (0.02, 0.05, 0.10):
+        no_fec = model.evaluate(120.0, raw)
+        k = k_for_target_loss(raw, 0.01) or 1
+        with_fec = model.evaluate(120.0, effective_loss(raw, k))
+        rows.append((f"{raw:.0%}", no_fec.band, k,
+                     f"{effective_loss(raw, k):.2%}", with_fec.band,
+                     f"{1.0 / k:.0%}"))
+    print_table("FEC on lossy SP paths (120 ms path)",
+                ("raw loss", "band w/o FEC", "k", "residual loss",
+                 "band w/ FEC", "overhead"), rows)
+    # Shape: FEC must recover at least one band at 5% raw loss.
+    order = ["poor", "low", "medium", "high", "perfect"]
+    raw_band = model.evaluate(120.0, 0.05).band
+    k = k_for_target_loss(0.05, 0.01)
+    fec_band = model.evaluate(120.0, effective_loss(0.05, k)).band
+    assert order.index(fec_band) > order.index(raw_band)
+
+
+def test_bench_sybil_economics(benchmark):
+    """§3.7: capturing channels requires flooding the zone, and sign-up
+    fees make that expensive."""
+    benchmark(channel_capture_probability, 0.5, 10)
+    rows = []
+    for fraction in (0.1, 0.3, 0.5, 0.7, 0.9):
+        p10 = channel_capture_probability(fraction, 10)
+        cost = sybil_attack_cost(int(fraction * 100_000))
+        rows.append((f"{fraction:.0%}", f"{p10:.2e}",
+                     f"${cost.first_month_total:,.0f}"))
+    print_table("Sybil capture vs spend (100k-user zone, c=10)",
+                ("zone fraction", "P(channel captured)",
+                 "first-month cost"), rows)
+    needed = sybils_needed_for_capture(0.5, 10, 100_000)
+    print_table("Sybils for 50% capture of one channel",
+                ("needed", "as fraction"),
+                [(f"{needed:,}", f"{needed / 100_000:.0%}")])
+    assert needed > 70_000
+
+
+def test_bench_wired_protocol_latency(benchmark):
+    """The full encrypted protocol over the simulated WAN: every layer
+    peel on every hop, timed end to end."""
+    def run():
+        net = WiredHerd({"zone-EU": "dc-eu", "zone-NA": "dc-na"},
+                        mixes_per_zone=2)
+        net.add_client("alice", "zone-EU")
+        net.add_client("bob", "zone-NA")
+        call = net.call("alice", "bob")
+        for i in range(50):
+            call.send_voice("caller_to_callee", bytes([i]) * 160,
+                            at=i * 0.02)
+        net.loop.run(until=10.0)
+        owds = call.owd_ms("callee")
+        return sum(owds) / len(owds), len(owds)
+
+    mean_owd, delivered = benchmark(run)
+    quality = EModel(jitter_buffer_ms=20.0).evaluate(mean_owd, 0.0)
+    print_table("Wired EU→NA Herd call (real crypto, simulated WAN)",
+                ("frames", "mean one-way", "R", "band"),
+                [(delivered, f"{mean_owd:.0f} ms", f"{quality.r:.0f}",
+                  quality.band)])
+    assert delivered == 50
+    assert quality.band in ("medium", "high", "perfect")
+
+
+def test_bench_churn_exposure(benchmark):
+    """Always-on connectivity vs realistic availability: how fast a
+    long-term intersection shrinks if presence were observable."""
+    model = AvailabilityModel(n_users=400, seed=5,
+                              median_availability=0.8)
+    rng = random.Random(6)
+    events = [rng.uniform(0, 30 * 86400.0) for _ in range(30)]
+
+    def run():
+        rounds = exposure_rounds(model, target=0, event_times=events,
+                                 horizon_s=30 * 86400.0)
+        return long_term_intersection(rounds)
+
+    exposed = benchmark(run)
+    herd = long_term_intersection([set(range(400)) for _ in events])
+    print_table("Long-term intersection over 30 days, 30 events",
+                ("system", "final candidate set"),
+                [("observable presence (no Herd)",
+                  exposed.final_anonymity),
+                 ("Herd (always-on clients)", herd.final_anonymity)])
+    assert exposed.final_anonymity < herd.final_anonymity
+    assert herd.final_anonymity == 400

@@ -1,0 +1,66 @@
+"""E2 (Fig. 4): anonymity-set sizes for Drac, Herd, and Tor.
+
+Paper: "The median anonymity set sizes for the Mobile, Twitter, and
+Facebook datasets [...] are 12, 8, and 343 for H = 1, and 1728, 512,
+and 40 million for H = 3, respectively. [...] the size of Herd's
+anonymity set with the mobile workload corresponds to 10.8 millions."
+"""
+
+import pytest
+
+from repro.analysis.anonymity import anonymity_figure
+from repro.workload.datasets import FACEBOOK, MOBILE, TWITTER
+
+from conftest import print_table
+
+PAPER_MEDIANS = {
+    ("Drac", "Mobile,H=1"): 12,
+    ("Drac", "Twitter,H=1"): 8,
+    ("Drac", "Facebook,H=1"): 343,
+    ("Drac", "Mobile,H=3"): 1_728,
+    ("Drac", "Twitter,H=3"): 512,
+    ("Drac", "Facebook,H=3"): 40_353_607,
+    ("Herd", "zone"): 10_800_000,
+}
+
+
+@pytest.fixture(scope="module")
+def figure(bench_day_trace):
+    return anonymity_figure(bench_day_trace,
+                            [MOBILE, TWITTER, FACEBOOK],
+                            zone_population=MOBILE.paper_n_users)
+
+
+def test_bench_fig4(benchmark, bench_day_trace, figure):
+    benchmark(anonymity_figure, bench_day_trace, [MOBILE],
+              zone_population=MOBILE.paper_n_users)
+    rows = []
+    for row in figure.rows:
+        paper = PAPER_MEDIANS.get((row.system, row.label), "—")
+        rows.append((row.system, row.label, f"{row.median:,.0f}",
+                     f"{row.p10:,.0f}", f"{row.p90:,.0f}",
+                     f"{paper:,}" if paper != "—" else "—"))
+    print_table("E2 / Fig. 4: anonymity-set sizes",
+                ("system", "series", "median", "p10", "p90",
+                 "paper median"), rows)
+
+
+def test_fig4_drac_medians_match_paper(figure):
+    for (system, label), paper in PAPER_MEDIANS.items():
+        if system != "Drac":
+            continue
+        ours = figure.row(system, label).median
+        assert ours == pytest.approx(paper, rel=0.5), (label, ours)
+
+
+def test_fig4_herd_dwarfs_drac(figure):
+    herd = figure.row("Herd", "zone").median
+    for row in figure.rows:
+        if row.system == "Drac" and "H=1" in row.label:
+            assert herd > 1000 * row.median
+
+
+def test_fig4_tor_effectively_deanonymized(figure):
+    # Under the intersection attack the median Tor "anonymity set" is
+    # exactly the communicating pair.
+    assert figure.row("Tor", "intersection").median == 2.0

@@ -1,0 +1,82 @@
+"""E3 (Fig. 5): CDF of client bandwidth requirements.
+
+Paper: "the median bandwidth required with the Mobile, Twitter and
+Facebook datasets are 96KB/s, 64KB/s, and 2.6MB/s, respectively, and
+the maxima are 12MB/s, 39MB/s, and 6.2GB/s. [...] Even with three
+channels, a client's bandwidth requirement is only 24KB/s (3*8KB/s)."
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.bandwidth import herd_client_bandwidth_kbps
+from repro.baselines.drac import DracModel
+from repro.workload.datasets import FACEBOOK, MOBILE, TWITTER
+
+from conftest import print_table
+
+PAPER = {
+    "Mobile": (96.0, 12_000.0),
+    "Twitter": (64.0, 39_000.0),
+    "Facebook": (2_744.0, 6.2e6),
+}
+
+
+@pytest.fixture(scope="module")
+def models():
+    return {spec.name: DracModel(spec, rng=random.Random(4))
+            for spec in (MOBILE, TWITTER, FACEBOOK)}
+
+
+def test_bench_fig5(benchmark, models):
+    def cdf_points():
+        out = {}
+        for name, model in models.items():
+            bw = np.sort(model.client_bandwidths_kbps())
+            out[name] = bw
+        return out
+
+    cdfs = benchmark(cdf_points)
+    rows = [("Herd (k=3)", f"{herd_client_bandwidth_kbps(3):.0f}",
+             f"{herd_client_bandwidth_kbps(3):.0f}", "24 / 24")]
+    for name, bw in cdfs.items():
+        paper_med, paper_max = PAPER[name]
+        rows.append((f"Drac ({name})",
+                     f"{np.median(bw):,.0f}", f"{bw.max():,.0f}",
+                     f"{paper_med:,.0f} / {paper_max:,.0f}"))
+    print_table("E3 / Fig. 5: client bandwidth (KB/s)",
+                ("series", "median", "max", "paper median/max"), rows)
+    # CDF series for the figure: deciles of each distribution.
+    decile_rows = []
+    for name, bw in cdfs.items():
+        deciles = [f"{np.percentile(bw, q):,.0f}"
+                   for q in range(10, 100, 20)]
+        decile_rows.append((name, *deciles))
+    print_table("E3 / Fig. 5: Drac bandwidth CDF deciles (KB/s)",
+                ("dataset", "p10", "p30", "p50", "p70", "p90"),
+                decile_rows)
+
+
+def test_fig5_medians_match_paper(models):
+    for name, model in models.items():
+        paper_med, _ = PAPER[name]
+        assert model.bandwidth_percentile_kbps(50) == pytest.approx(
+            paper_med, rel=0.35), name
+
+
+def test_fig5_maxima_match_paper(models):
+    for name, model in models.items():
+        _, paper_max = PAPER[name]
+        assert model.client_bandwidths_kbps().max() == pytest.approx(
+            paper_max, rel=0.01), name
+
+
+def test_fig5_herd_up_to_two_orders_below_drac(models):
+    herd = herd_client_bandwidth_kbps(3)
+    # "reduces client bandwidth by up to two orders of magnitude"
+    facebook_median = models["Facebook"].bandwidth_percentile_kbps(50)
+    assert facebook_median > 100 * herd
+    # and Herd is flat: every client pays the same 24 KB/s.
+    assert herd == 24.0

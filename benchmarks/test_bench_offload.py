@@ -1,0 +1,55 @@
+"""E5 (§4.1.6): superpeer offload of the trusted infrastructure.
+
+Paper: "SPs have the potential to greatly offload mixes.  In our
+simulations, these savings varied between 80% and 98% with 5 and 50
+clients per channel, respectively.  This low blocking rate and high
+savings are explained by low instantaneous system utilization for
+voice workloads — in the day-long trace we considered, the peak duty
+cycle was 1.6%."
+"""
+
+import pytest
+
+from repro.analysis.bandwidth import offload_factor, sp_savings_fraction
+from repro.simulation.herd_sim import provision_zone
+
+from conftest import BENCH_USERS, print_table
+
+CPC_VALUES = (5, 10, 25, 50)
+
+
+def test_bench_offload_savings(benchmark, bench_day_trace):
+    def compute():
+        return {cpc: sp_savings_fraction(BENCH_USERS, cpc)
+                for cpc in CPC_VALUES}
+
+    savings = benchmark(compute)
+    rows = [(cpc, f"{savings[cpc]:.0%}",
+             {5: "80%", 50: "98%"}.get(cpc, "—"))
+            for cpc in CPC_VALUES]
+    print_table("E5: mix bandwidth savings from SPs",
+                ("clients/channel", "savings (ours)", "paper"), rows)
+    assert savings[5] == pytest.approx(0.80, abs=0.01)
+    assert savings[50] == pytest.approx(0.98, abs=0.005)
+
+
+def test_bench_peak_duty_cycle(bench_day_trace):
+    duty = bench_day_trace.peak_duty_cycle(BENCH_USERS)
+    print_table("E5: peak duty cycle (day-long trace)",
+                ("ours", "paper"), [(f"{duty:.2%}", "1.6%")])
+    # Same order as the paper's 1.6%.
+    assert 0.005 < duty < 0.03
+
+
+def test_bench_offload_factor(bench_day_trace):
+    prov = provision_zone(bench_day_trace, n_users=BENCH_USERS)
+    print_table(
+        "E5: provisioning for the day-long trace",
+        ("users", "peak calls", "channels", "SPs", "mixes", "n/a",
+         "realized n/C"),
+        [(prov.n_users, prov.peak_calls, prov.n_channels, prov.n_sps,
+          prov.n_mixes, f"{prov.offload_factor:.0f}",
+          f"{prov.bandwidth_reduction:.0f}")])
+    # §3.6: n/a "is likely to be large (above 10)".
+    assert prov.offload_factor > 10
+    assert prov.bandwidth_reduction >= 10

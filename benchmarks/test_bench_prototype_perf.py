@@ -1,0 +1,75 @@
+"""E9 (§4.2): prototype performance — SP bandwidth reduction n/a.
+
+Paper: "As expected, using an SP reduces the bandwidth required at the
+mix to support n clients by a factor of nearly n/a, where a is the
+number of concurrent active calls (one in our experiment)."
+
+This bench measures actual bytes through our protocol objects: it runs
+real upstream rounds (client packets → SP XOR → mix decode) with and
+without an SP in the path, and reports the measured reduction.
+"""
+
+import pytest
+
+from repro.core.channel import decode_manifest
+from repro.core.client import HerdClient
+from repro.core.join import join_zone
+from repro.simulation.testbed import build_testbed
+
+from conftest import print_table
+
+
+def _sp_round_bytes(n_clients: int, seed: int = 3):
+    """Bytes crossing the mix's client-side interface for one round,
+    with and without an SP (one channel, a = 1 as in the paper)."""
+    bed = build_testbed(zone_specs=[("zone-EU", "dc-eu", 1)], seed=seed)
+    mix = bed.mixes["zone-EU/mix-0"]
+    mix.configure_channels(1)
+    sp = bed.add_superpeer("sp-0", mix.mix_id, channels=[0])
+    clients = []
+    for i in range(n_clients):
+        client = bed.add_client(f"c{i}", "zone-EU", k=1,
+                                via_superpeers=True)
+        clients.append(client)
+
+    # One round: every client emits one packet + manifest.
+    packets, manifests = [], []
+    for client in clients:
+        pkt, mf = client.upstream_packet(client.attachments[0])
+        packets.append(pkt)
+        manifests.append(mf)
+
+    without_sp = sum(len(p) for p in packets)  # mix terminates all
+    up = sp.combine_upstream(0, 0, packets, manifests)
+    with_sp = len(up.xor_packet) + sum(len(m) for m in up.manifests)
+
+    # The mix can actually decode the SP round.
+    entries = []
+    for slot, raw in enumerate(up.manifests):
+        client_id = mix.client_at_slot(0, slot)
+        key = mix.client_keys[client_id]
+        numeric = mix.channels[0].members[slot]
+        m = decode_manifest(raw, key, slot, expected_sequence=0)
+        entries.append((numeric, m.sequence, m.signal))
+    active, payload, _ = mix.decode_channel_round(0, up.xor_packet,
+                                                  entries)
+    assert active is None and payload == b""
+    return without_sp, with_sp
+
+
+@pytest.mark.parametrize("n_clients", (10, 25, 50))
+def test_bench_sp_bandwidth_reduction(benchmark, n_clients):
+    if n_clients == 25:
+        without_sp, with_sp = benchmark(_sp_round_bytes, n_clients)
+    else:
+        without_sp, with_sp = _sp_round_bytes(n_clients)
+    reduction = without_sp / with_sp
+    print_table(
+        f"E9: mix client-side bytes per round, n={n_clients} (a=1)",
+        ("without SP", "with SP", "reduction", "paper"),
+        [(without_sp, with_sp, f"{reduction:.1f}x",
+          f"~n/a = {n_clients}x")])
+    # "a factor of nearly n/a": manifests cost a little, so the
+    # reduction is somewhat below n but scales with it.
+    assert reduction > 0.5 * n_clients
+    assert reduction <= n_clients

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Traffic-analysis resistance, demonstrated on the wire (§3.4, §3.7).
+
+Sets up chaffed client links on the network simulator, taps every link
+with a global passive adversary, and shows:
+
+1. **I6** — an active caller's link time series is indistinguishable
+   from an idle client's (constant rate, payload-independent);
+2. the **correlation attack** succeeds against unchaffed flows and
+   returns nothing against Herd's;
+3. **I7** — an active adversary dropping packets upstream does not
+   perturb the downstream rate (the next hop just sends more chaff).
+
+Run:  python examples/traffic_analysis_resistance.py
+"""
+
+from repro.attacks.adversary import ActiveAdversary
+from repro.attacks.correlation import correlate_flows
+from repro.core.chaffing import ConstantRateChaffer
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import Link
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+from repro.voip.codec import G711
+
+DURATION = 10.0  # seconds of simulated traffic
+PACKET = b"\xa5" * 301  # one coded Herd packet
+
+
+def chaffed_sender(loop, node, peer, chaffer, talk: bool):
+    """Drive a chaffed link: one fixed-size packet per frame, payload
+    substituted when talking (the payload is itself encrypted, so the
+    wire image is identical either way)."""
+    def tick():
+        if talk:
+            chaffer.enqueue_payload(PACKET)
+        for slot in chaffer.tick():
+            kind = "voip" if slot is not None else "chaff"
+            node.send(peer.name, Packet(PACKET, node.name, peer.name,
+                                        kind=kind))
+    loop.schedule_periodic(chaffer.interval, tick)
+
+
+def unchaffed_sender(loop, node, peer, talk_start, talk_end):
+    """An unprotected VoIP flow: packets only while talking."""
+    def tick():
+        if talk_start <= loop.now < talk_end:
+            node.send(peer.name, Packet(PACKET, node.name, peer.name,
+                                        kind="voip"))
+    loop.schedule_periodic(0.02, tick)
+
+
+def main() -> None:
+    print("=== Traffic-analysis resistance on the wire ===\n")
+    loop = EventLoop(seed=1)
+    adversary = ActiveAdversary()
+
+    mix = Node("mix", loop)
+    mix.on_packet(lambda p: None)
+
+    # Two chaffed Herd clients: alice talks from t=2 to t=6, carol is
+    # idle the whole time.
+    alice, carol = Node("alice", loop), Node("carol", loop)
+    for client, talk in ((alice, True), (carol, False)):
+        link = Link(loop, client, mix, one_way_delay=0.02)
+        adversary.tap(link)
+        chaffed_sender(loop, client, mix, ConstantRateChaffer(G711),
+                       talk)
+
+    # Two unprotected clients with distinct talk windows.
+    dave, erin = Node("dave", loop), Node("erin", loop)
+    out_dave, out_erin = Node("x-dave", loop), Node("x-erin", loop)
+    for n in (out_dave, out_erin):
+        n.on_packet(lambda p: None)
+    for client, out, (t0, t1) in ((dave, out_dave, (2.0, 6.0)),
+                                  (erin, out_erin, (5.0, 9.0))):
+        link_in = Link(loop, client, mix, one_way_delay=0.02)
+        link_out = Link(loop, mix, out, one_way_delay=0.02)
+        adversary.tap(link_in)
+        adversary.tap(link_out)
+        unchaffed_sender(loop, client, mix, t0, t1)
+
+        def relay(p, out=out):
+            if p.src in ("dave", "erin") and p.kind == "voip":
+                mix.send(out.name, Packet(p.payload, "mix", out.name,
+                                          kind="voip"))
+    # Simple mirroring of unprotected flows through the mix:
+    original_handler = lambda p: None
+
+    def mix_handler(p):
+        if p.src == "dave":
+            mix.send("x-dave", Packet(p.payload, "mix", "x-dave"))
+        elif p.src == "erin":
+            mix.send("x-erin", Packet(p.payload, "mix", "x-erin"))
+    mix.on_packet(mix_handler)
+
+    loop.run(until=DURATION)
+
+    series = adversary.link_series(bin_width=1.0)
+
+    # 1. I6: alice (talking) vs carol (idle) — identical wire image.
+    a = series["alice->mix"]
+    c = series["carol->mix"]
+    print("chaffed links, bytes per second (alice talks 2s-6s):")
+    print("  alice:", [a.get(i, 0) for i in range(10)])
+    print("  carol:", [c.get(i, 0) for i in range(10)])
+    print("  -> indistinguishable: the adversary cannot tell who "
+          "is on a call\n")
+
+    # 2. Correlation attack: works on unchaffed, fails on chaffed.
+    matches = correlate_flows(
+        {"dave": series["dave->mix"], "erin": series["erin->mix"]},
+        {"x-dave": series["mix->x-dave"],
+         "x-erin": series["mix->x-erin"]})
+    print(f"correlation attack on unprotected flows: {matches}")
+    from repro.core.invariants import series_identical
+    print("chaffed flows: alice's and carol's series are "
+          f"bin-for-bin identical: {series_identical(a, c)}")
+    print("  -> unchaffed flows are matched end-to-end; chaffed flows "
+          "give the adversary nothing to discriminate on\n")
+
+    # 3. I7: drop 30% upstream; downstream keeps its constant rate.
+    loop2 = EventLoop(seed=2)
+    adv2 = ActiveAdversary()
+    up_client, relay_node, down_peer = (Node("client", loop2),
+                                        Node("relay", loop2),
+                                        Node("down", loop2))
+    down_peer.on_packet(lambda p: None)
+    up_link = Link(loop2, up_client, relay_node, one_way_delay=0.02)
+    down_link = Link(loop2, relay_node, down_peer, one_way_delay=0.02)
+    adv2.tap(up_link)
+    adv2.tap(down_link)
+    adv2.compromise(up_link)
+    adv2.inject_loss(0.3)
+    relay_chaffer = ConstantRateChaffer(G711)
+    relay_node.on_packet(lambda p: relay_chaffer.enqueue_payload(
+        p.payload))
+    chaffed_sender(loop2, up_client, relay_node,
+                   ConstantRateChaffer(G711), talk=True)
+
+    def relay_tick():
+        for slot in relay_chaffer.tick():
+            relay_node.send("down", Packet(PACKET, "relay", "down"))
+    loop2.schedule_periodic(relay_chaffer.interval, relay_tick)
+    loop2.run(until=DURATION)
+    down_series = adv2.observer.time_series("relay", "down", 1.0)
+    print("active attack: 30% loss injected on the upstream link;")
+    print("  downstream bytes/s:",
+          [down_series.get(i, 0) for i in range(1, 10)])
+    print("  -> constant: tampering upstream is invisible downstream "
+          "(invariant I7)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Herd: a scalable, traffic-analysis resistant anonymity network for
+VoIP systems — a full Python reproduction of the SIGCOMM 2015 paper by
+Le Blond, Choffnes, Caldwell, Druschel, and Merritt.
+
+Package map
+-----------
+
+* :mod:`repro.core` — the Herd protocol: zones, mixes, clients,
+  superpeers, circuits, rendezvous, chaffing, network coding, channel
+  allocation, signaling, blacklisting, and the security invariants.
+* :mod:`repro.crypto` — from-scratch X25519 / Ed25519 /
+  ChaCha20-Poly1305 / HKDF, PKI, DTLS-like links, onion encryption.
+* :mod:`repro.netsim` — discrete-event network simulator with EC2
+  geography and adversary link observers.
+* :mod:`repro.voip` — codecs, RTP, and the ITU-T G.107 E-Model.
+* :mod:`repro.workload` — synthetic mobile call traces and social
+  graphs matching the paper's published statistics.
+* :mod:`repro.attacks` — intersection, correlation, and long-term
+  intersection attacks.
+* :mod:`repro.baselines` — Tor and Drac comparison models.
+* :mod:`repro.analysis` — anonymity/bandwidth/cost/CPU analytics.
+* :mod:`repro.simulation` — trace-driven and packet-level deployment
+  simulations, plus an in-memory testbed.
+
+Quick start
+-----------
+
+>>> from repro.simulation.testbed import build_testbed
+>>> bed = build_testbed()
+>>> alice = bed.add_client("alice", "zone-EU")
+>>> bob = bed.add_client("bob", "zone-NA")
+>>> bed.ready_for_calls("alice"); bed.ready_for_calls("bob")
+>>> session = bed.call("alice", "bob")
+"""
+
+__version__ = "1.0.0"
+
+from repro.simulation.testbed import HerdTestbed, build_testbed
+
+__all__ = ["HerdTestbed", "build_testbed", "__version__"]

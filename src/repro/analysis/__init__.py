@@ -1,0 +1,51 @@
+"""Evaluation analytics: anonymity sets, bandwidth, costs, CPU.
+
+One module per axis of the paper's evaluation:
+
+* :mod:`repro.analysis.anonymity` — Fig. 4 (anonymity-set sizes for
+  Drac, Herd, Tor).
+* :mod:`repro.analysis.bandwidth` — Fig. 5 (client bandwidth CDFs) and
+  the SP offload factor n/a (§3.6, §4.2).
+* :mod:`repro.analysis.cost` — §4.1.6 dollar costs per user/month on
+  EC2-style pricing.
+* :mod:`repro.analysis.cpu` — Fig. 6 CPU-utilization model for mixes
+  and SPs.
+"""
+
+from repro.analysis.anonymity import (
+    AnonymityFigure,
+    anonymity_figure,
+    herd_anonymity,
+    tor_anonymity,
+)
+from repro.analysis.bandwidth import (
+    herd_client_bandwidth_kbps,
+    mix_client_side_rate_units,
+    offload_factor,
+    sp_savings_fraction,
+)
+from repro.analysis.cost import CostModel, CostBreakdown, EC2Pricing
+from repro.analysis.cpu import CpuModel
+from repro.analysis.sybil import (
+    channel_capture_probability,
+    effective_anonymity,
+    sybil_attack_cost,
+)
+
+__all__ = [
+    "AnonymityFigure",
+    "anonymity_figure",
+    "herd_anonymity",
+    "tor_anonymity",
+    "herd_client_bandwidth_kbps",
+    "mix_client_side_rate_units",
+    "offload_factor",
+    "sp_savings_fraction",
+    "CostModel",
+    "CostBreakdown",
+    "EC2Pricing",
+    "CpuModel",
+    "channel_capture_probability",
+    "effective_anonymity",
+    "sybil_attack_cost",
+]

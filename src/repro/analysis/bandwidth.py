@@ -1,0 +1,76 @@
+"""Bandwidth analytics: Fig. 5 and the superpeer offload (§3.6, §4.2).
+
+* Herd clients behind SPs: "a client's bandwidth requirement is only
+  24 KB/s (3 × 8 KB/s)" — k chaffed channel connections
+  (:func:`herd_client_bandwidth_kbps`).  Clients connecting *directly*
+  to a mix keep "only one connection" at unit rate.
+* Mixes: without SPs, the mix terminates one unit-rate chaffed link per
+  online client → n units.  With SPs, the mix↔SP links carry one unit
+  per channel → C = n / clients_per_channel units.  The §4.1.6 savings
+  ("between 80% and 98% with 5 and 50 clients per channel") are
+  therefore 1 − 1/clients_per_channel, and the §3.6 bound is the
+  offload factor n/a.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.voip.codec import Codec, G711
+
+
+def herd_client_bandwidth_kbps(k: int = 3, codec: Codec = G711) -> float:
+    """Constant Herd client bandwidth: k chaffed connections at the
+    codec's unit rate (24 KB/s for k=3 with G.711)."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return k * codec.payload_rate_bps / 1000.0
+
+
+def channels_for(n_online: int, clients_per_channel: int) -> int:
+    """Channels a zone provisions for n clients at the given packing
+    (C = ⌈n / clients_per_channel⌉)."""
+    if clients_per_channel < 1:
+        raise ValueError("clients_per_channel must be at least 1")
+    if n_online < 0:
+        raise ValueError("client count cannot be negative")
+    return -(-n_online // clients_per_channel)
+
+
+def mix_client_side_rate_units(n_online: int,
+                               n_channels: Optional[int] = None) -> float:
+    """The mix's client-side chaffed rate, in call units.
+
+    Without SPs (``n_channels is None``): one unit-rate link per online
+    client → n units.  With SPs: one unit per channel on the mix↔SP
+    links → C units.
+    """
+    if n_online < 0:
+        raise ValueError("client count cannot be negative")
+    if n_channels is None:
+        return float(n_online)
+    if n_channels < 0:
+        raise ValueError("channel count cannot be negative")
+    return float(n_channels)
+
+
+def offload_factor(n_online: int, peak_active: int) -> float:
+    """n/a: the maximum bandwidth reduction SPs can achieve (§3.6:
+    "SPs can increase Herd's scalability by reducing the client-side
+    bandwidth load of mixes by a factor of up to n/a")."""
+    if peak_active <= 0:
+        raise ValueError("peak active calls must be positive")
+    if n_online < peak_active:
+        raise ValueError("cannot have more active than online clients")
+    return n_online / peak_active
+
+
+def sp_savings_fraction(n_online: int, clients_per_channel: int) -> float:
+    """Fraction of mix client-side bandwidth saved by SPs (§4.1.6:
+    80%–98% for 5–50 clients per channel)."""
+    without = mix_client_side_rate_units(n_online)
+    if without == 0:
+        return 0.0
+    with_sp = mix_client_side_rate_units(
+        n_online, channels_for(n_online, clients_per_channel))
+    return 1.0 - with_sp / without

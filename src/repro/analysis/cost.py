@@ -1,0 +1,166 @@
+"""Operational cost model: §4.1.6's dollars per user/month.
+
+"The cost ranges from $0.10 to $1.14 per month per subscriber.  The low
+end of the range corresponds to a call volume of 1% of users
+simultaneously making calls at any time and only 10% interzone calls;
+while the high end [...] 2% of the users making calls at any time [...]
+and 100% interzone calls.  The reason for the relatively low cost is
+that intrazone traffic in EC2 does not incur charges, interzone traffic
+incurs low charges, and traffic to SPs and clients costs the most. [...]
+choosing not to include SPs [...] will cost two orders of magnitude
+more per user ($10-100 per month per user)."
+
+:class:`CostModel` reconstructs the estimate with 2015-era EC2 prices.
+Chaffed links are charged at their *provisioned* rate around the clock
+(that is the point of chaffing — the rate cannot track load), with
+intra-DC traffic free, inter-region traffic cheap, and Internet egress
+(to SPs or clients) dominant, exactly the structure the paper
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.bandwidth import channels_for
+
+SECONDS_PER_MONTH = 30 * 24 * 3600
+HOURS_PER_MONTH = 30 * 24
+
+#: Wire bytes per payload byte on a chaffed Herd link (coded packet
+#: header, manifest, DTLS record, IP/UDP — measured from the packet
+#: formats in repro.core).
+WIRE_OVERHEAD = 1.6
+
+
+@dataclass(frozen=True)
+class EC2Pricing:
+    """EC2-style pricing, defaults circa 2015 (us-east-1)."""
+
+    #: $/hour for a mix instance (m3.medium on-demand, 2015).
+    instance_hourly: float = 0.070
+    #: $/GB egress to the Internet (first tiers, 2015).
+    internet_egress_per_gb: float = 0.09
+    #: $/GB between EC2 regions.
+    inter_region_per_gb: float = 0.02
+    #: $/GB within a data center (free on EC2).
+    intra_dc_per_gb: float = 0.0
+
+
+@dataclass
+class CostBreakdown:
+    """Monthly dollars, total and per component."""
+
+    instances: float
+    internet_egress: float
+    inter_region: float
+    intra_dc: float
+    n_users: int
+
+    @property
+    def total(self) -> float:
+        return (self.instances + self.internet_egress
+                + self.inter_region + self.intra_dc)
+
+    @property
+    def per_user(self) -> float:
+        if self.n_users <= 0:
+            raise ValueError("need a positive user count")
+        return self.total / self.n_users
+
+
+class CostModel:
+    """Monthly cost of one zone, with or without superpeers."""
+
+    def __init__(self, pricing: Optional[EC2Pricing] = None,
+                 unit_rate_kbps: float = 8.0,
+                 clients_per_channel: int = 10,
+                 direct_link_multiple: int = 3,
+                 clients_per_mix_direct: int = 150,
+                 channels_per_mix: int = 2000,
+                 wire_overhead: float = WIRE_OVERHEAD):
+        self.pricing = pricing or EC2Pricing()
+        self.unit_rate_kbps = unit_rate_kbps
+        self.clients_per_channel = clients_per_channel
+        #: Direct client↔mix links carry "a small multiple of the unit
+        #: rate u" (§3.1); 3 matches the SP-mode client rate.
+        self.direct_link_multiple = direct_link_multiple
+        #: Direct chaffed client links are CPU-expensive (Fig. 6: 59%
+        #: CPU at 100 clients) — an instance handles ~150.
+        self.clients_per_mix_direct = clients_per_mix_direct
+        #: With SPs the mix's work is network coding — cheap (Fig. 6).
+        self.channels_per_mix = channels_per_mix
+        self.wire_overhead = wire_overhead
+
+    def _gb_per_month(self, rate_units: float) -> float:
+        """GB/month of a link group provisioned at ``rate_units`` call
+        units, charged continuously (chaff never stops)."""
+        return (rate_units * self.unit_rate_kbps * 1000.0
+                * self.wire_overhead * SECONDS_PER_MONTH / 1e9)
+
+    def monthly_cost(self, n_users: int, duty_cycle: float = 0.016,
+                     interzone_fraction: float = 0.5,
+                     use_sps: bool = True) -> CostBreakdown:
+        if n_users <= 0:
+            raise ValueError("need a positive user count")
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ValueError("duty cycle must be in (0, 1]")
+        if not 0.0 <= interzone_fraction <= 1.0:
+            raise ValueError("interzone fraction must be in [0, 1]")
+
+        # Peak simultaneous calls (each call occupies two users).
+        active_calls = max(1.0, n_users * duty_cycle / 2.0)
+
+        # Client-side links (the Internet-egress component).
+        if use_sps:
+            client_units = float(channels_for(n_users,
+                                              self.clients_per_channel))
+            n_mixes = max(1, -(-int(client_units)
+                               // self.channels_per_mix))
+        else:
+            client_units = float(n_users * self.direct_link_multiple)
+            n_mixes = max(1, -(-n_users // self.clients_per_mix_direct))
+
+        # Inter-zone mix links: provisioned for the interzone share.
+        inter_units = active_calls * interzone_fraction
+        # Intra-zone hops (entry↔rendezvous) plus intrazone calls.
+        intra_units = active_calls * (1.0 + (1.0 - interzone_fraction))
+
+        return CostBreakdown(
+            instances=n_mixes * self.pricing.instance_hourly
+            * HOURS_PER_MONTH,
+            internet_egress=self._gb_per_month(client_units)
+            * self.pricing.internet_egress_per_gb,
+            inter_region=self._gb_per_month(inter_units)
+            * self.pricing.inter_region_per_gb,
+            intra_dc=self._gb_per_month(intra_units)
+            * self.pricing.intra_dc_per_gb,
+            n_users=n_users,
+        )
+
+    def per_user_range(self, n_users: int, use_sps: bool = True
+                       ) -> tuple:
+        """The paper's sweep corners: (low, high) $/user/month for
+        duty ∈ {1%, 2%} × interzone ∈ {10%, 100%}; the with-SP sweep
+        additionally spans clients/channel ∈ {50, 5}."""
+        if use_sps:
+            low_model = CostModel(self.pricing, self.unit_rate_kbps,
+                                  clients_per_channel=50)
+            high_model = CostModel(self.pricing, self.unit_rate_kbps,
+                                   clients_per_channel=5)
+        else:
+            low_model = high_model = self
+        low = low_model.monthly_cost(n_users, duty_cycle=0.01,
+                                     interzone_fraction=0.1,
+                                     use_sps=use_sps).per_user
+        high = high_model.monthly_cost(n_users, duty_cycle=0.02,
+                                       interzone_fraction=1.0,
+                                       use_sps=use_sps).per_user
+        return low, high
+
+    @staticmethod
+    def sp_payment_overhead(payment_per_dollar: float = 1.0) -> float:
+        """§4.1.6: "the cost per paying subscriber is an additional
+        $0.14 per dollar we pay SPs"."""
+        return 0.14 * payment_per_dollar

@@ -1,0 +1,102 @@
+"""CPU-utilization model for mixes and SPs: the data behind Fig. 6.
+
+The paper measured its prototype on a Dell OptiPlex 980: "without an
+SP, the mix's network process has a CPU utilization of 59% for 100
+clients, while an SP with one chaffed connection between mix and SP
+reduces that utilization to only 3%.  The marginal CPU utilization for
+supporting an additional client is .01% and .6% with and without the
+SP, respectively.  The reason is that the network coding for an SP
+requires far fewer CPU cycles than maintaining a chaffed connection
+with multiple clients."
+
+:class:`CpuModel` is mechanistic: per-packet I/O plus per-crypto-op
+costs, with constants calibrated to the two published endpoints.
+
+* Without an SP, the mix terminates one chaffed DTLS connection per
+  client: 2 × 50 packets/s each (both directions at the G.711 rate),
+  each packet paying system-call/interrupt + AEAD costs.
+* With an SP, the mix terminates one chaffed connection to the SP per
+  channel and does pure computation per client: one ChaCha20 chaff
+  prediction + XOR per round — no per-client network I/O.
+* The SP side is the mirror image: per-client packet I/O (which is why
+  SP CPU grows with clients, Fig. 6 bottom) but no cryptography.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Packets per second per unit-rate connection, one direction (G.711).
+PACKETS_PER_SECOND = 50.0
+
+
+@dataclass(frozen=True)
+class CpuCosts:
+    """Calibrated fractional-CPU costs (fraction of one core per
+    operation per second)."""
+
+    #: CPU fraction per packet/s of network I/O (syscalls, interrupts,
+    #: DTLS record processing).  Calibrated: 100 clients × 100 pkt/s
+    #: × cost ≈ 59% − base.
+    per_packet_io: float = 5.65e-5
+    #: CPU fraction per chaff prediction + XOR per packet/s (pure
+    #: compute).  Calibrated: marginal 0.01% per client at 50 rounds/s.
+    per_coding_op: float = 2.0e-6
+    #: Baseline process overhead (timers, GC, bookkeeping).
+    base: float = 0.02
+
+
+class CpuModel:
+    """Predicts mix and SP CPU utilization (fraction of one core)."""
+
+    def __init__(self, costs: CpuCosts = CpuCosts(),
+                 packets_per_second: float = PACKETS_PER_SECOND):
+        self.costs = costs
+        self.pps = packets_per_second
+
+    def _clamp(self, value: float) -> float:
+        return max(0.0, min(1.0, value))
+
+    def mix_without_sp(self, n_clients: int) -> float:
+        """Mix terminating one chaffed connection per client (both
+        directions)."""
+        if n_clients < 0:
+            raise ValueError("client count cannot be negative")
+        pkts = n_clients * 2 * self.pps
+        return self._clamp(self.costs.base
+                           + pkts * self.costs.per_packet_io)
+
+    def mix_with_sp(self, n_clients: int, n_channels: int = 1) -> float:
+        """Mix behind an SP: chaffed connections only per channel,
+        plus one coding operation per client per round."""
+        if n_clients < 0 or n_channels < 0:
+            raise ValueError("counts cannot be negative")
+        io_pkts = n_channels * 2 * self.pps
+        coding_ops = n_clients * self.pps
+        return self._clamp(self.costs.base
+                           + io_pkts * self.costs.per_packet_io
+                           + coding_ops * self.costs.per_coding_op)
+
+    def sp(self, n_clients: int, n_channels: int = 1) -> float:
+        """SP: per-client packet I/O both directions, plus the XOR
+        (no cryptography — it forwards opaque ciphertext)."""
+        if n_clients < 0 or n_channels < 0:
+            raise ValueError("counts cannot be negative")
+        client_pkts = n_clients * 2 * self.pps
+        mix_pkts = n_channels * 2 * self.pps
+        coding_ops = n_clients * self.pps
+        return self._clamp(self.costs.base
+                           + (client_pkts + mix_pkts)
+                           * self.costs.per_packet_io
+                           + coding_ops * self.costs.per_coding_op)
+
+    def marginal_per_client(self, with_sp: bool) -> float:
+        """Fig. 6's marginal CPU per additional client."""
+        if with_sp:
+            return self.mix_with_sp(101) - self.mix_with_sp(100)
+        return self.mix_without_sp(101) - self.mix_without_sp(100)
+
+    def mix_memory_mb(self, n_clients: int) -> float:
+        """Mix virtual memory: ~3.4 MB at 100 clients (§4.2), modelled
+        as a base plus per-client session state."""
+        return 3.0 + 0.004 * n_clients

@@ -1,0 +1,121 @@
+"""Programmatic evaluation reports.
+
+Builds the paper-vs-measured comparison (the content of EXPERIMENTS.md)
+as data, so the CLI, notebooks, and tests can consume one source of
+truth.  Each :class:`ExperimentRow` carries the experiment id, the
+metric, the paper's value, our measured value, and whether the shape
+criterion passed; :func:`run_evaluation` executes the fast experiments
+end to end on a supplied (or freshly generated) trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.bandwidth import (
+    herd_client_bandwidth_kbps,
+    sp_savings_fraction,
+)
+from repro.analysis.cost import CostModel
+from repro.analysis.cpu import CpuModel
+from repro.attacks.intersection import intersection_attack
+from repro.workload.cdr import CallTrace
+from repro.workload.generator import SyntheticTraceConfig, generate_trace
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One paper-vs-measured comparison."""
+
+    experiment: str
+    metric: str
+    paper: str
+    measured: str
+    shape_ok: bool
+
+
+@dataclass
+class EvaluationReport:
+    """The collected comparison rows."""
+
+    rows: List[ExperimentRow] = field(default_factory=list)
+
+    def add(self, experiment: str, metric: str, paper: str,
+            measured: str, shape_ok: bool) -> None:
+        self.rows.append(ExperimentRow(experiment, metric, paper,
+                                       measured, shape_ok))
+
+    @property
+    def all_shapes_hold(self) -> bool:
+        return all(row.shape_ok for row in self.rows)
+
+    def failures(self) -> List[ExperimentRow]:
+        return [row for row in self.rows if not row.shape_ok]
+
+    def to_markdown(self) -> str:
+        lines = ["| experiment | metric | paper | measured | shape |",
+                 "|---|---|---|---|---|"]
+        for row in self.rows:
+            mark = "✓" if row.shape_ok else "✗"
+            lines.append(f"| {row.experiment} | {row.metric} | "
+                         f"{row.paper} | {row.measured} | {mark} |")
+        return "\n".join(lines)
+
+
+def run_evaluation(trace: Optional[CallTrace] = None,
+                   n_users: int = 4000,
+                   seed: int = 20150817) -> EvaluationReport:
+    """Run the fast (analytic + single-trace) experiments and report.
+
+    The heavier sweeps (blocking sims, packet-level latency) live in
+    the benchmark harness; this function covers the results that take
+    seconds, for the CLI and for CI smoke checks.
+    """
+    if trace is None:
+        cfg = SyntheticTraceConfig(n_users=n_users, days=1, seed=seed,
+                                   max_degree=min(150, n_users - 1))
+        trace = generate_trace(cfg)
+    report = EvaluationReport()
+
+    # E1: intersection attack.
+    attack = intersection_attack(trace, bin_width=1.0)
+    report.add("E1", "Tor calls traced @1s", "98.3%",
+               f"{attack.traced_fraction:.1%}",
+               attack.traced_fraction > 0.95)
+
+    # E3: client bandwidth.
+    herd_bw = herd_client_bandwidth_kbps(3)
+    report.add("E3", "Herd client bandwidth (k=3)", "24 KB/s",
+               f"{herd_bw:.0f} KB/s", herd_bw == 24.0)
+
+    # E5: SP savings + duty cycle.
+    for cpc, paper in ((5, "80%"), (50, "98%")):
+        savings = sp_savings_fraction(n_users, cpc)
+        report.add("E5", f"savings @{cpc}/channel", paper,
+                   f"{savings:.0%}",
+                   abs(savings - float(paper.strip('%')) / 100) < 0.02)
+    duty = trace.peak_duty_cycle(n_users)
+    report.add("E5", "peak duty cycle", "1.6%", f"{duty:.2%}",
+               0.005 < duty < 0.03)
+
+    # E6: cost.
+    model = CostModel()
+    sp_lo, sp_hi = model.per_user_range(1_000_000, use_sps=True)
+    no_lo, _ = model.per_user_range(1_000_000, use_sps=False)
+    report.add("E6", "$/user/month with SPs", "$0.10–$1.14",
+               f"${sp_lo:.2f}–${sp_hi:.2f}",
+               sp_lo < 1.14 and sp_hi > 0.10)
+    report.add("E6", "without-SP premium", "two orders of magnitude",
+               f"{no_lo / sp_hi:.0f}× the with-SP high end",
+               no_lo > 10 * sp_hi)
+
+    # E7: CPU model anchors.
+    cpu = CpuModel()
+    report.add("E7", "mix CPU @100 clients (no SP)", "59%",
+               f"{cpu.mix_without_sp(100):.0%}",
+               abs(cpu.mix_without_sp(100) - 0.59) < 0.05)
+    report.add("E7", "mix CPU @100 clients (SP)", "3%",
+               f"{cpu.mix_with_sp(100):.1%}",
+               abs(cpu.mix_with_sp(100) - 0.03) < 0.02)
+    return report

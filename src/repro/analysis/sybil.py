@@ -1,0 +1,111 @@
+"""Sybil-attack analysis (§3.7).
+
+"If the adversary manages to control a large fraction of the clients
+attached to a zone, he is able to reduce the anonymity of the remaining
+legitimate clients proportionally. [...] Another approach for an
+adversary is to control all but one of the clients within an SP
+channel, leaving the remaining legitimate client as the only possible
+active user.  However, such an attack would be difficult because the
+mix controls which SPs a client attaches to. [...] By charging a
+one-time sign-up fee, the system can further increase the cost of such
+an attack."
+
+This module quantifies those statements:
+
+* :func:`effective_anonymity` — anonymity after subtracting Sybils.
+* :func:`channel_capture_probability` — probability that a given
+  channel ends up with ≤ 1 honest member under *mix-controlled random*
+  assignment (the defence the paper relies on).
+* :func:`expected_captured_channels` and :func:`sybil_attack_cost` —
+  what zone-scale capture costs an adversary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+def effective_anonymity(zone_population: int, sybil_count: int) -> int:
+    """Anonymity of a legitimate client when ``sybil_count`` of the
+    zone's clients are adversary-controlled: the honest population."""
+    if sybil_count < 0 or zone_population < 1:
+        raise ValueError("invalid population parameters")
+    if sybil_count >= zone_population:
+        raise ValueError("sybils cannot exceed the population")
+    return zone_population - sybil_count
+
+
+def channel_capture_probability(sybil_fraction: float,
+                                clients_per_channel: int) -> float:
+    """P(a channel has at most one honest member) when the mix assigns
+    clients to channels uniformly at random (binomial approximation:
+    each of the c members is independently Sybil with probability f).
+
+    Capture means every member but at most one is a Sybil — the
+    remaining honest client would be the only possible active user of
+    the channel.
+    """
+    if not 0.0 <= sybil_fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if clients_per_channel < 1:
+        raise ValueError("need at least one client per channel")
+    f = sybil_fraction
+    c = clients_per_channel
+    all_sybil = f ** c
+    one_honest = c * (1.0 - f) * f ** (c - 1)
+    return all_sybil + one_honest
+
+
+def expected_captured_channels(sybil_fraction: float,
+                               n_channels: int,
+                               clients_per_channel: int) -> float:
+    """Expected number of captured channels in a zone."""
+    if n_channels < 0:
+        raise ValueError("channel count cannot be negative")
+    return n_channels * channel_capture_probability(
+        sybil_fraction, clients_per_channel)
+
+
+@dataclass(frozen=True)
+class SybilCost:
+    """What mounting a Sybil campaign costs."""
+
+    accounts: int
+    signup_fees: float
+    monthly_subscription: float
+
+    @property
+    def first_month_total(self) -> float:
+        return self.signup_fees + self.monthly_subscription
+
+
+def sybil_attack_cost(sybil_count: int, signup_fee: float = 5.0,
+                      monthly_fee: float = 1.0) -> SybilCost:
+    """Cost of operating ``sybil_count`` fake accounts: each needs "a
+    new account, from a new IP address and using a different payment
+    channel" plus the one-time sign-up fee the paper suggests."""
+    if sybil_count < 0:
+        raise ValueError("count cannot be negative")
+    return SybilCost(
+        accounts=sybil_count,
+        signup_fees=sybil_count * signup_fee,
+        monthly_subscription=sybil_count * monthly_fee,
+    )
+
+
+def sybils_needed_for_capture(target_probability: float,
+                              clients_per_channel: int,
+                              zone_population: int) -> Optional[int]:
+    """Smallest Sybil count giving at least ``target_probability`` of
+    capturing one *specific* channel, or None if unreachable below the
+    population size.  Illustrates why per-channel targeting fails: the
+    adversary cannot choose placement, so he must flood the zone."""
+    if not 0.0 < target_probability < 1.0:
+        raise ValueError("target probability must be in (0, 1)")
+    for sybils in range(0, zone_population):
+        f = sybils / zone_population
+        if channel_capture_probability(
+                f, clients_per_channel) >= target_probability:
+            return sybils
+    return None

@@ -1,0 +1,44 @@
+"""Traffic-analysis attacks from the paper's threat model (§3, §4.1.4).
+
+* :mod:`repro.attacks.intersection` — the start/end-time intersection
+  attack that traces 98.3% of calls against Tor-like (unchaffed)
+  systems (§4.1.4).
+* :mod:`repro.attacks.correlation` — flow correlation on the binned
+  time series of encrypted packets (the "more sophisticated attack"
+  the introduction mentions).
+* :mod:`repro.attacks.longterm` — long-term intersection / statistical
+  disclosure over many observation rounds (§3.7, §4.1.5).
+* :mod:`repro.attacks.adversary` — helpers to mount a global passive
+  observer over a simulated deployment.
+"""
+
+from repro.attacks.intersection import (
+    IntersectionAttackResult,
+    intersection_attack,
+)
+from repro.attacks.correlation import correlate_flows, pearson
+from repro.attacks.longterm import (
+    LongTermAttackResult,
+    long_term_intersection,
+)
+from repro.attacks.disclosure import (
+    DisclosureResult,
+    statistical_disclosure,
+)
+from repro.attacks.adversary import (
+    ActiveAdversary,
+    GlobalPassiveAdversary,
+)
+
+__all__ = [
+    "IntersectionAttackResult",
+    "intersection_attack",
+    "correlate_flows",
+    "pearson",
+    "LongTermAttackResult",
+    "long_term_intersection",
+    "DisclosureResult",
+    "statistical_disclosure",
+    "ActiveAdversary",
+    "GlobalPassiveAdversary",
+]

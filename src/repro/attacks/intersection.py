@@ -1,0 +1,95 @@
+"""The start/end-time intersection attack (§4.1.4).
+
+"In the absence of chaffing, a passive attacker can correlate call
+start and end times to identify which partners are communicating via an
+intersection attack.  That is, the attacker sees that sets of users
+start and end calls simultaneously, and attempts to identify pairs of
+communicating clients from this set.  To confirm whether a single pair
+of users, (u, v), is communicating, the attacker takes the intersection
+of the sets of users with the same call start/end times as (u, v).
+When the intersection set is size 2, the attacker has confirmed these
+communication partners."
+
+Against the paper's trace this traces **98.3%** of calls at 1-second
+granularity.  :func:`intersection_attack` reproduces the attack against
+any :class:`~repro.workload.cdr.CallTrace`; the Tor baseline exposes
+exactly these start/end observables, while Herd exposes none (clients
+are chaffed 24/7), which the harness demonstrates by feeding the attack
+the *observable* event stream of each system model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+import numpy as np
+
+from repro.workload.cdr import CallTrace
+
+
+@dataclass
+class IntersectionAttackResult:
+    """Outcome of the intersection attack on one trace."""
+
+    total_calls: int
+    traced_calls: int
+    #: Histogram of anonymity-set sizes (per call): size → count.
+    anonymity_sizes: Dict[int, int]
+
+    @property
+    def traced_fraction(self) -> float:
+        if self.total_calls == 0:
+            return 0.0
+        return self.traced_calls / self.total_calls
+
+    def anonymity_set_percentile(self, q: float) -> float:
+        """Percentile of the per-call anonymity-set size distribution."""
+        values: List[int] = []
+        for size, count in sorted(self.anonymity_sizes.items()):
+            values.extend([size] * count)
+        if not values:
+            return 0.0
+        return float(np.percentile(values, q))
+
+
+def intersection_attack(trace: CallTrace,
+                        bin_width: float = 1.0
+                        ) -> IntersectionAttackResult:
+    """Run the intersection attack at the given time granularity.
+
+    The adversary's observables per user are (start bin, end bin) of
+    each of the user's flows.  For each call, the candidate set is
+    {users with a flow starting in the same bin} ∩ {users with a flow
+    ending in the same bin}.  The call is *traced* when the candidate
+    set contains exactly the two communicating parties.
+    """
+    start_bins, end_bins = trace.binned_events(bin_width)
+    users_starting: Dict[int, Set[int]] = defaultdict(set)
+    users_ending: Dict[int, Set[int]] = defaultdict(set)
+    for record, s_bin, e_bin in zip(trace.records, start_bins, end_bins):
+        users_starting[int(s_bin)].update((record.caller, record.callee))
+        users_ending[int(e_bin)].update((record.caller, record.callee))
+
+    traced = 0
+    sizes: Dict[int, int] = defaultdict(int)
+    for record, s_bin, e_bin in zip(trace.records, start_bins, end_bins):
+        candidates = users_starting[int(s_bin)] & users_ending[int(e_bin)]
+        size = len(candidates)
+        sizes[size] += 1
+        if size == 2:
+            traced += 1
+    return IntersectionAttackResult(
+        total_calls=len(trace),
+        traced_calls=traced,
+        anonymity_sizes=dict(sizes),
+    )
+
+
+def herd_observable_trace(trace: CallTrace) -> CallTrace:
+    """What the same adversary observes when the calls run over Herd:
+    nothing.  Clients are connected and chaffed continuously, so there
+    are no per-user flow start/end events at all; the returned trace is
+    empty.  (Provided for symmetry in the benchmark harness.)"""
+    return CallTrace([])

@@ -1,0 +1,16 @@
+"""Baseline system models the paper compares Herd against (§4.1.1).
+
+* :mod:`repro.baselines.tor` — "Tor does not employ chaffing and so
+  does not offer any resistance to traffic analysis."  Exposes the
+  per-call flow observables the intersection attack consumes, plus the
+  2–4 s circuit delay model the introduction cites.
+* :mod:`repro.baselines.drac` — "Drac maintains one chaffing connection
+  for each link within a social network [...] Drac's bandwidth
+  requirements are proportional to the degree of nodes in the social
+  network."
+"""
+
+from repro.baselines.tor import TorModel
+from repro.baselines.drac import DracModel
+
+__all__ = ["TorModel", "DracModel"]

@@ -1,0 +1,73 @@
+"""The Herd anonymity network: the paper's primary contribution.
+
+This package implements every protocol component of Herd (§3):
+
+* :mod:`repro.core.zone` / :mod:`repro.core.directory` — trust zones,
+  zone directories, descriptor/rendezvous storage and link-rate
+  orchestration (§3, §3.4.2–3.4.3).
+* :mod:`repro.core.circuit` — incremental circuit construction with
+  per-hop key negotiation and layered encryption (§3.2).
+* :mod:`repro.core.mix` — mix relay logic: DTLS links, layer peeling,
+  rendezvous splicing, SP channel rounds (§3).
+* :mod:`repro.core.client` — caller/callee state machines with
+  constant-rate chaffed links (§3.4.1).
+* :mod:`repro.core.superpeer` / :mod:`repro.core.channel` /
+  :mod:`repro.core.network_coding` — the untrusted superpeer layer with
+  upstream XOR network coding and encrypted manifests (§3.6).
+* :mod:`repro.core.allocation` — static greedy channel assignment and
+  the Karp–Vazirani–Vazirani RANKING algorithm for dynamic call-to-
+  channel allocation (§3.6.3).
+* :mod:`repro.core.chaffing` — chaff scheduling and epoch-based rate
+  controllers (§3.4).
+* :mod:`repro.core.signaling` — in-band call signaling that hides call
+  activity from SPs (§3.6.2).
+* :mod:`repro.core.join` — the join protocol (§3.5).
+* :mod:`repro.core.blacklist` — SP quality monitoring (§3.6.4).
+* :mod:`repro.core.invariants` — the security invariants I1–I8 (§3.7)
+  as executable checks used by the test suite.
+"""
+
+from repro.core.allocation import (
+    ChannelAssignment,
+    RankingMatcher,
+    assign_clients_to_channels,
+)
+from repro.core.chaffing import ConstantRateChaffer, RateController
+from repro.core.channel import Channel, ChannelManifest
+from repro.core.network_coding import ChaffPredictor, decode_round, xor_bytes
+from repro.core.client import HerdClient
+from repro.core.mix import Mix
+from repro.core.superpeer import SuperPeer
+from repro.core.directory import ZoneDirectory
+from repro.core.zone import TrustZone, ZoneConfig
+from repro.core.join import join_zone
+from repro.core.rendezvous import CallSession, RendezvousService
+from repro.core.callmanager import ClientCallAgent, MixCallManager
+from repro.core.groupcall import GroupCall
+from repro.core.blacklist import SPMonitor
+
+__all__ = [
+    "ChannelAssignment",
+    "RankingMatcher",
+    "assign_clients_to_channels",
+    "ConstantRateChaffer",
+    "RateController",
+    "Channel",
+    "ChannelManifest",
+    "ChaffPredictor",
+    "decode_round",
+    "xor_bytes",
+    "HerdClient",
+    "Mix",
+    "SuperPeer",
+    "ZoneDirectory",
+    "TrustZone",
+    "ZoneConfig",
+    "join_zone",
+    "CallSession",
+    "RendezvousService",
+    "ClientCallAgent",
+    "MixCallManager",
+    "GroupCall",
+    "SPMonitor",
+]

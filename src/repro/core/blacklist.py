@@ -1,0 +1,123 @@
+"""SP quality monitoring and blacklisting (§3.6.4).
+
+"Mixes monitor and reject SPs with insufficient availability or
+significant packet loss/jitter" and "mixes blacklist SPs that fail to
+meet a high standard of packet loss rate and jitter.  Legitimate SPs
+that fail to meet the standard due to an unreliable network may require
+their clients to use error-correcting codes."
+
+:class:`SPMonitor` accumulates per-SP measurement windows and flags
+violators; it also drives the §3.6.1 audit path: an SP (or one of its
+clients) that produces undecodable XOR rounds is asked for the buffered
+full packets, the culprit is identified, and the offending *account* is
+blacklisted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+#: Default quality standards, per the experimental deployment's "high
+#: standard of packet loss rate and jitter".
+DEFAULT_MAX_LOSS = 0.02
+DEFAULT_MAX_JITTER_MS = 30.0
+DEFAULT_MIN_AVAILABILITY = 0.95
+DEFAULT_MIN_SAMPLES = 10
+
+
+@dataclass
+class SPRecord:
+    """Accumulated quality samples for one SP."""
+
+    loss_samples: List[float] = field(default_factory=list)
+    jitter_samples: List[float] = field(default_factory=list)
+    up_checks: int = 0
+    total_checks: int = 0
+
+    @property
+    def mean_loss(self) -> float:
+        if not self.loss_samples:
+            return 0.0
+        return sum(self.loss_samples) / len(self.loss_samples)
+
+    @property
+    def mean_jitter(self) -> float:
+        if not self.jitter_samples:
+            return 0.0
+        return sum(self.jitter_samples) / len(self.jitter_samples)
+
+    @property
+    def availability(self) -> float:
+        if self.total_checks == 0:
+            return 1.0
+        return self.up_checks / self.total_checks
+
+
+class SPMonitor:
+    """The mix's view of its superpeers' quality."""
+
+    def __init__(self, max_loss: float = DEFAULT_MAX_LOSS,
+                 max_jitter_ms: float = DEFAULT_MAX_JITTER_MS,
+                 min_availability: float = DEFAULT_MIN_AVAILABILITY,
+                 min_samples: int = DEFAULT_MIN_SAMPLES):
+        self.max_loss = max_loss
+        self.max_jitter_ms = max_jitter_ms
+        self.min_availability = min_availability
+        self.min_samples = min_samples
+        self.records: Dict[str, SPRecord] = defaultdict(SPRecord)
+        self.blacklisted_sps: Set[str] = set()
+        self.blacklisted_clients: Set[str] = set()
+
+    def record_quality(self, sp_id: str, loss: float,
+                       jitter_ms: float) -> None:
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError("loss must be in [0, 1]")
+        if jitter_ms < 0:
+            raise ValueError("jitter cannot be negative")
+        rec = self.records[sp_id]
+        rec.loss_samples.append(loss)
+        rec.jitter_samples.append(jitter_ms)
+        self._evaluate(sp_id)
+
+    def record_availability(self, sp_id: str, is_up: bool) -> None:
+        rec = self.records[sp_id]
+        rec.total_checks += 1
+        if is_up:
+            rec.up_checks += 1
+        self._evaluate(sp_id)
+
+    def _evaluate(self, sp_id: str) -> None:
+        rec = self.records[sp_id]
+        if len(rec.loss_samples) >= self.min_samples:
+            if rec.mean_loss > self.max_loss or \
+                    rec.mean_jitter > self.max_jitter_ms:
+                self.blacklisted_sps.add(sp_id)
+        if rec.total_checks >= self.min_samples and \
+                rec.availability < self.min_availability:
+            self.blacklisted_sps.add(sp_id)
+
+    def is_blacklisted(self, sp_id: str) -> bool:
+        return sp_id in self.blacklisted_sps
+
+    def blacklist_client(self, client_id: str) -> None:
+        """Blacklist a client account identified by a round audit
+        (§3.6.1: "enabling the mix to identify, drop, and blacklist the
+        culprit's Herd account")."""
+        self.blacklisted_clients.add(client_id)
+
+    def audit_round(self, sp_id: str, packets_by_client: Dict[str, bytes],
+                    expected_by_client: Dict[str, bytes]) -> Optional[str]:
+        """Compare the SP's buffered full packets against what each
+        idle client *should* have sent (the mix's chaff predictions).
+        Returns the first misbehaving client, blacklisting it; if every
+        client's packet checks out, the SP itself forged the XOR and is
+        blacklisted."""
+        for client, packet in packets_by_client.items():
+            expected = expected_by_client.get(client)
+            if expected is not None and packet != expected:
+                self.blacklist_client(client)
+                return client
+        self.blacklisted_sps.add(sp_id)
+        return None

@@ -1,0 +1,259 @@
+"""Call lifecycle management at the mix and client (§3.6.2–3.6.3).
+
+Ties together the pieces the paper describes separately:
+
+* the caller's **signaling bit** in chaff manifests (outgoing calls),
+* the mix's **dynamic channel allocation** (KVV RANKING) among the k
+  channels the caller/callee attaches to,
+* the downstream **GRANT** (to a signaling caller) and **INCOMING**
+  announcement (to a ringing callee), sealed so only the addressee can
+  read them,
+* per-round downstream packet production: VOIP cells on busy channels,
+  pending announcements, chaff everywhere else,
+* call teardown, freeing channels for RANKING to reuse.
+
+:class:`MixCallManager` is the mix-side controller;
+:class:`ClientCallAgent` is the client-side state machine that trial-
+decrypts every downstream packet (as all clients must) and tracks
+idle → signaling → in-call transitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.allocation import ChannelAssignment, RankingMatcher
+from repro.core.client import HerdClient
+from repro.core.mix import Mix
+from repro.core.signaling import (
+    ChannelGrant,
+    IncomingCallAnnouncement,
+    KIND_GRANT,
+    KIND_INCOMING,
+    KIND_VOIP,
+    make_downstream_chaff,
+    make_downstream_packet,
+    open_downstream_packet,
+)
+
+_call_ids = itertools.count(1)
+
+
+@dataclass
+class ActiveCall:
+    """Mix-side record of one call on one channel."""
+
+    call_id: int
+    numeric_id: int
+    channel_id: int
+    outgoing: bool
+    #: Downstream cells waiting to be sent to this call's client.
+    downstream: Deque[bytes] = field(default_factory=deque)
+
+
+class MixCallManager:
+    """Allocates calls to channels and produces downstream rounds."""
+
+    def __init__(self, mix: Mix, rng: Optional[random.Random] = None):
+        if not mix.channels:
+            raise ValueError("mix has no channels configured")
+        self.mix = mix
+        self.rng = rng or random.Random(0)
+        self._assignment = ChannelAssignment(len(mix.channels))
+        self.matcher = RankingMatcher(self._assignment, self.rng)
+        #: numeric id → (channel → slot)
+        self._slots: Dict[int, Dict[int, int]] = {}
+        self._client_name: Dict[int, str] = {}
+        self.calls: Dict[int, ActiveCall] = {}   # numeric id → call
+        self._pending_grant: Dict[int, ActiveCall] = {}
+        self._pending_announce: Dict[int, ActiveCall] = {}
+        self.calls_blocked = 0
+
+    # -- registration --------------------------------------------------------
+
+    def register_client(self, client_id: str, numeric_id: int,
+                        slots: Dict[int, int]) -> None:
+        """Record a joined client's channel attachment (from
+        :meth:`Mix.attach_client_to_channels`)."""
+        self._assignment.add_client(numeric_id, tuple(slots))
+        self._slots[numeric_id] = dict(slots)
+        self._client_name[numeric_id] = client_id
+
+    # -- call setup -------------------------------------------------------------
+
+    def _allocate(self, numeric_id: int,
+                  outgoing: bool) -> Optional[ActiveCall]:
+        channel = self.matcher.try_allocate(numeric_id)
+        if channel is None:
+            self.calls_blocked += 1
+            return None
+        slot = self._slots[numeric_id][channel]
+        self.mix.channels[channel].start_call(slot)
+        call = ActiveCall(call_id=next(_call_ids),
+                          numeric_id=numeric_id, channel_id=channel,
+                          outgoing=outgoing)
+        self.calls[numeric_id] = call
+        return call
+
+    def handle_signal(self, numeric_id: int) -> Optional[ActiveCall]:
+        """An outgoing-call request arrived via a manifest signaling
+        bit.  Allocate a channel; the GRANT goes out with the next
+        downstream round (§3.6.2: "The mix will respond on an available
+        channel to which the caller attaches")."""
+        if numeric_id in self.calls:
+            return self.calls[numeric_id]  # duplicate signal: idempotent
+        call = self._allocate(numeric_id, outgoing=True)
+        if call is not None:
+            self._pending_grant[numeric_id] = call
+        return call
+
+    def place_incoming(self, numeric_id: int) -> Optional[ActiveCall]:
+        """An inbound call for a client arrived via the rendezvous.
+        Allocate a channel and queue the INCOMING announcement."""
+        if numeric_id in self.calls:
+            self.calls_blocked += 1
+            return None  # busy: one call per client
+        call = self._allocate(numeric_id, outgoing=False)
+        if call is not None:
+            self._pending_announce[numeric_id] = call
+        return call
+
+    def end_call(self, numeric_id: int) -> None:
+        call = self.calls.pop(numeric_id, None)
+        if call is None:
+            return
+        self.matcher.release(numeric_id)
+        self.mix.channels[call.channel_id].end_call()
+        self._pending_grant.pop(numeric_id, None)
+        self._pending_announce.pop(numeric_id, None)
+
+    def enqueue_voice(self, numeric_id: int, cell: bytes) -> None:
+        """Queue a downstream voice cell for a client's active call."""
+        call = self.calls.get(numeric_id)
+        if call is None:
+            raise KeyError(f"client {numeric_id} has no active call")
+        call.downstream.append(cell)
+
+    # -- downstream round production -------------------------------------------
+
+    def downstream_round(self, round_index: int
+                         ) -> Dict[int, bytes]:
+        """One packet per channel for this round (Fig. 2a).
+
+        Priority per busy channel: pending GRANT/INCOMING first, then a
+        queued voice cell, then addressed chaff (a VOIP packet with an
+        empty payload keeps the crypto path identical).  Idle channels
+        carry random chaff.
+        """
+        out: Dict[int, bytes] = {}
+        for numeric_id, call in list(self._pending_grant.items()):
+            key = self.mix.client_keys[self._client_name[numeric_id]]
+            out[call.channel_id] = make_downstream_packet(
+                key, call.channel_id, round_index, KIND_GRANT,
+                ChannelGrant(call.channel_id, call.call_id).encode())
+            del self._pending_grant[numeric_id]
+        for numeric_id, call in list(self._pending_announce.items()):
+            key = self.mix.client_keys[self._client_name[numeric_id]]
+            out[call.channel_id] = make_downstream_packet(
+                key, call.channel_id, round_index, KIND_INCOMING,
+                IncomingCallAnnouncement(call.call_id).encode())
+            del self._pending_announce[numeric_id]
+        for call in self.calls.values():
+            if call.channel_id in out:
+                continue
+            key = self.mix.client_keys[self._client_name[call.numeric_id]]
+            cell = call.downstream.popleft() if call.downstream else b""
+            out[call.channel_id] = make_downstream_packet(
+                key, call.channel_id, round_index, KIND_VOIP, cell)
+        for channel_id in self.mix.channels:
+            if channel_id not in out:
+                out[channel_id] = make_downstream_chaff(self.rng)
+        return out
+
+    # -- round ingestion ------------------------------------------------------------
+
+    def process_upstream(self, channel_id: int, xor_packet: bytes,
+                         manifests: List[Tuple[int, int, bool]]
+                         ) -> Tuple[Optional[int], bytes]:
+        """Decode one upstream round and act on its signals.  Returns
+        (active numeric id, payload) for any recovered voice cell."""
+        active, payload, signalers = self.mix.decode_channel_round(
+            channel_id, xor_packet, manifests)
+        for numeric_id in signalers:
+            self.handle_signal(numeric_id)
+        return active, payload
+
+
+class CallState(Enum):
+    IDLE = "idle"
+    SIGNALING = "signaling"
+    IN_CALL = "in_call"
+    RINGING = "ringing"
+
+
+@dataclass
+class ClientCallAgent:
+    """Client-side call state machine over SP channels."""
+
+    client: HerdClient
+    state: CallState = CallState.IDLE
+    active_channel: Optional[int] = None
+    call_id: Optional[int] = None
+    received_cells: List[bytes] = field(default_factory=list)
+
+    def start_outgoing(self) -> None:
+        """Begin signaling an outgoing call (§3.6.2: the signal bit
+        rides the chaff manifests — the caller does not know which, if
+        any, channel is available)."""
+        if self.state is not CallState.IDLE:
+            raise RuntimeError(f"cannot start a call while {self.state}")
+        self.client.request_outgoing_call()
+        self.state = CallState.SIGNALING
+
+    def hang_up(self) -> None:
+        self.client.clear_signal()
+        self.state = CallState.IDLE
+        self.active_channel = None
+        self.call_id = None
+
+    def process_downstream(self, channel_id: int, round_index: int,
+                           packet: bytes) -> Optional[str]:
+        """Trial-decrypt one downstream packet; returns an event name
+        ("granted", "ringing", "voice") or None for chaff."""
+        opened = open_downstream_packet(self.client.session_key,
+                                        channel_id, round_index, packet)
+        if opened is None:
+            return None
+        kind, payload = opened
+        if kind == KIND_GRANT:
+            grant = ChannelGrant.decode(payload)
+            self.client.clear_signal()
+            self.state = CallState.IN_CALL
+            self.active_channel = grant.channel_id
+            self.call_id = grant.call_id
+            return "granted"
+        if kind == KIND_INCOMING:
+            announcement = IncomingCallAnnouncement.decode(payload)
+            self.state = CallState.IN_CALL  # auto-accept, as in §4.3.2
+            self.active_channel = channel_id
+            self.call_id = announcement.call_id
+            return "ringing"
+        if kind == KIND_VOIP:
+            if payload:
+                self.received_cells.append(payload)
+            return "voice"
+        return None
+
+    def upstream_payload_for(self, channel_id: int,
+                             cell: Optional[bytes]) -> Optional[bytes]:
+        """The payload to carry on one channel this round: the voice
+        cell if this is the call's channel, chaff otherwise."""
+        if self.state is CallState.IN_CALL and \
+                channel_id == self.active_channel:
+            return cell
+        return None

@@ -1,0 +1,127 @@
+"""Channels and encrypted packet manifests (§3.6.1–3.6.2).
+
+Clients attached to an SP are partitioned into *channels*; each channel
+supports at most one active call.  Along with each upstream XOR packet,
+the SP forwards the 4-byte *manifests* attached to each client packet:
+"Each of these manifests is 4 bytes long, encrypted with s, and
+includes the client's id within the channel, packet sequence number,
+and a signaling bit."
+
+Manifest cleartext layout (4 bytes)::
+
+    bits 0-5    client id within the channel (0..63)
+    bit  6      signaling bit (outgoing-call request, §3.6.2)
+    bits 7-31   packet sequence number modulo 2^25
+
+The manifest is XOR-encrypted with a keystream from the client's
+session key ``s`` (nonce bound to the *manifest slot index* within the
+round so the mix — which knows the channel membership — can decrypt
+slot i with client i's key).  The truncated sequence number is enough
+for the mix to resynchronize after "lost or delayed packets"; the full
+64-bit sequence is reconstructed against the mix's expected counter.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.crypto.chacha20 import chacha20_encrypt
+from repro.crypto.keys import SessionKey
+
+MANIFEST_BYTES = 4
+_SEQ_MOD = 1 << 25
+_MAX_CLIENT_ID = 63
+
+_MANIFEST_PREFIX = b"mf\x00\x00"
+
+
+@dataclass(frozen=True)
+class ChannelManifest:
+    """One decoded manifest: who sent packet #seq, and the signal bit."""
+
+    client_id: int
+    sequence: int
+    signal: bool
+
+    def __post_init__(self):
+        if not 0 <= self.client_id <= _MAX_CLIENT_ID:
+            raise ValueError("client id must fit in 6 bits")
+        if self.sequence < 0:
+            raise ValueError("sequence must be non-negative")
+
+
+def encode_manifest(manifest: ChannelManifest, key: SessionKey,
+                    slot: int) -> bytes:
+    """Encrypt a manifest with the client's session key for a round
+    slot."""
+    word = (manifest.client_id
+            | (int(manifest.signal) << 6)
+            | ((manifest.sequence % _SEQ_MOD) << 7))
+    clear = struct.pack("<I", word)
+    nonce = _MANIFEST_PREFIX + struct.pack("<Q", slot)
+    return chacha20_encrypt(key.key, nonce, clear)
+
+
+def decode_manifest(data: bytes, key: SessionKey, slot: int,
+                    expected_sequence: int) -> ChannelManifest:
+    """Decrypt a manifest and reconstruct the full sequence number.
+
+    ``expected_sequence`` is the mix's next-expected counter for the
+    client; the truncated 25-bit value is resolved to the nearest full
+    sequence at or after ``expected_sequence - _SEQ_MOD // 2``.
+    """
+    if len(data) != MANIFEST_BYTES:
+        raise ValueError("manifest must be 4 bytes")
+    nonce = _MANIFEST_PREFIX + struct.pack("<Q", slot)
+    clear = chacha20_encrypt(key.key, nonce, data)
+    (word,) = struct.unpack("<I", clear)
+    client_id = word & 0x3F
+    signal = bool((word >> 6) & 1)
+    seq_low = word >> 7
+    base = max(0, expected_sequence - _SEQ_MOD // 2)
+    candidate = (base - base % _SEQ_MOD) + seq_low
+    if candidate < base:
+        candidate += _SEQ_MOD
+    return ChannelManifest(client_id=client_id, sequence=candidate,
+                           signal=signal)
+
+
+@dataclass
+class Channel:
+    """One channel at an SP/mix: its member clients and call state.
+
+    ``members`` maps the in-channel client id (0..63) to the global
+    client identifier.  ``active_call`` holds the in-channel id of the
+    client currently on a call, or None.
+    """
+
+    channel_id: int
+    members: Dict[int, int] = field(default_factory=dict)
+    active_call: Optional[int] = None
+
+    def add_member(self, global_client: int) -> int:
+        """Attach a client; returns its in-channel id."""
+        if len(self.members) > _MAX_CLIENT_ID:
+            raise ValueError("channel is full (64 members)")
+        in_channel_id = len(self.members)
+        self.members[in_channel_id] = global_client
+        return in_channel_id
+
+    def member_count(self) -> int:
+        return len(self.members)
+
+    @property
+    def is_busy(self) -> bool:
+        return self.active_call is not None
+
+    def start_call(self, in_channel_id: int) -> None:
+        if in_channel_id not in self.members:
+            raise KeyError(f"client slot {in_channel_id} not in channel")
+        if self.is_busy:
+            raise RuntimeError(f"channel {self.channel_id} already busy")
+        self.active_call = in_channel_id
+
+    def end_call(self) -> None:
+        self.active_call = None

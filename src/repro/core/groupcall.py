@@ -1,0 +1,160 @@
+"""Group calls — the paper's stated future work (§5: "Future work
+includes supporting group and video calls").
+
+Design: the *host* (conference initiator) establishes one ordinary
+zone-anonymous :class:`~repro.core.rendezvous.CallSession` per invitee
+and acts as the audio bridge, the way small-conference VoIP systems
+work.  Each leg is an independent Herd call, so:
+
+* every participant keeps zone anonymity with respect to every other
+  participant (they each see only their own rendezvous path to the
+  host),
+* participants do not learn each other's identities unless the host
+  reveals them — the host relays (optionally re-encoded) audio,
+* the host's client-link chaffing must cover N concurrent calls, so a
+  conference of N legs needs a rate multiple ≥ N (the bandwidth cost
+  the paper's future-work framing anticipates).
+
+:class:`GroupCall` implements the bridge with simple PCM mixing
+(saturating sum of linear samples), per-leg sequence tracking, and
+join/leave during the call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.client import HerdClient
+from repro.core.rendezvous import CallError, CallSession, \
+    RendezvousService
+
+
+def mix_pcm(frames: Sequence[bytes], sample_width: int = 1) -> bytes:
+    """Mix equal-length linear PCM frames by saturating addition.
+
+    ``sample_width`` is bytes per sample (1 for 8-bit linear — the
+    decoded form of G.711 in this model).
+    """
+    if not frames:
+        raise ValueError("need at least one frame to mix")
+    length = len(frames[0])
+    if any(len(f) != length for f in frames):
+        raise ValueError("all frames must have equal length")
+    if sample_width != 1:
+        raise ValueError("only 8-bit linear PCM is modelled")
+    out = bytearray(length)
+    for i in range(length):
+        total = sum(f[i] - 128 for f in frames)  # center at 0
+        out[i] = max(0, min(255, total + 128))
+    return bytes(out)
+
+
+@dataclass
+class GroupLeg:
+    """One invitee's leg of the conference."""
+
+    participant: HerdClient
+    session: CallSession
+    #: Audio frames received from this participant, in order.
+    received: List[bytes] = field(default_factory=list)
+
+
+class GroupCall:
+    """An N-party conference bridged at the host."""
+
+    def __init__(self, service: RendezvousService, host: HerdClient,
+                 frame_bytes: int = 160):
+        if host.circuit is None:
+            raise CallError("host needs a standing circuit")
+        self.service = service
+        self.host = host
+        self.frame_bytes = frame_bytes
+        self.legs: Dict[str, GroupLeg] = {}
+
+    # -- membership ------------------------------------------------------------
+
+    def invite(self, participant: HerdClient) -> GroupLeg:
+        """Add a participant: one zone-anonymous call host→invitee.
+
+        Each leg gets its own host-side circuit — a circuit carries one
+        concurrent call, so an N-party conference uses N circuits at
+        the host (matching :meth:`required_rate_multiple`)."""
+        if participant.client_id in self.legs:
+            raise CallError(f"{participant.client_id} already joined")
+        if participant.client_id == self.host.client_id:
+            raise CallError("the host is implicitly in the call")
+        self.service.build_standing_circuit(self.host)
+        session = self.service.establish_call(
+            self.host, participant.certificate, participant)
+        leg = GroupLeg(participant=participant, session=session)
+        self.legs[participant.client_id] = leg
+        return leg
+
+    def drop(self, client_id: str) -> None:
+        if client_id not in self.legs:
+            raise KeyError(f"{client_id} is not in the call")
+        del self.legs[client_id]
+
+    @property
+    def participants(self) -> List[str]:
+        return sorted(self.legs)
+
+    @property
+    def size(self) -> int:
+        """Participants including the host."""
+        return len(self.legs) + 1
+
+    def required_rate_multiple(self) -> int:
+        """Chaffed client-link rate the host needs (one call unit per
+        concurrent leg)."""
+        return max(1, len(self.legs))
+
+    # -- audio ------------------------------------------------------------------
+
+    def _check_frame(self, frame: bytes) -> None:
+        if len(frame) != self.frame_bytes:
+            raise ValueError(
+                f"frames must be {self.frame_bytes} bytes")
+
+    def round(self, speaking: Dict[str, bytes],
+              host_frame: Optional[bytes] = None) -> Dict[str, bytes]:
+        """One conference frame interval.
+
+        ``speaking`` maps participant id → their outgoing frame (silent
+        participants are simply absent).  ``host_frame`` is the host's
+        own audio.  Each speaker's frame travels its leg to the host
+        (really relayed through the mixes), the host mixes everyone
+        else's audio per listener, and sends the mix back down each
+        leg.  Returns listener id → the frame delivered to them.
+        """
+        silence = bytes([128]) * self.frame_bytes
+        # 1. Collect audio at the host over each leg.
+        at_host: Dict[str, bytes] = {}
+        for client_id, frame in speaking.items():
+            leg = self.legs.get(client_id)
+            if leg is None:
+                raise KeyError(f"{client_id} is not in the call")
+            self._check_frame(frame)
+            delivered = leg.session.send_voice("callee_to_caller", frame)
+            at_host[client_id] = delivered
+        if host_frame is not None:
+            self._check_frame(host_frame)
+            at_host[self.host.client_id] = host_frame
+
+        # 2. Mix per listener (everyone except themselves) and send.
+        out: Dict[str, bytes] = {}
+        for client_id, leg in self.legs.items():
+            sources = [f for src, f in at_host.items()
+                       if src != client_id]
+            mixed = mix_pcm(sources) if sources else silence
+            delivered = leg.session.send_voice("caller_to_callee",
+                                               mixed)
+            leg.received.append(delivered)
+            out[client_id] = delivered
+        # The host hears everyone but itself.
+        host_sources = [f for src, f in at_host.items()
+                        if src != self.host.client_id]
+        out[self.host.client_id] = (mix_pcm(host_sources)
+                                    if host_sources else silence)
+        return out

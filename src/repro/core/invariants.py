@@ -1,0 +1,129 @@
+"""Herd's security invariants I1–I8 (§3.7) as executable checks.
+
+The paper argues informally that eight invariants jointly provide zone
+anonymity.  This module turns each into a predicate the test suite (and
+benchmark harness) can apply to simulation artefacts:
+
+* I1 — successive-link ciphertexts uncorrelated:
+  :func:`ciphertext_uncorrelated`.
+* I2/I3 — interior/edge mixes know only adjacent hops:
+  :func:`mix_knowledge` extracts everything a mix's circuit table holds
+  so tests can assert nothing more is known.
+* I4 — circuits include two mixes in each party's zone: checked
+  structurally via :func:`circuit_zone_profile`.
+* I5 — rendezvous mix uniformly likely: :func:`is_uniform_choice`.
+* I6 — link time series uncorrelated with payload:
+  :func:`series_identical`.
+* I7 — upstream manipulation invisible downstream: exercised by the
+  chaffer (rate is clock-driven); :func:`series_identical` applies.
+* I8 — SPs blind to activity: :func:`sp_state_is_activity_free`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def byte_agreement(a: bytes, b: bytes) -> float:
+    """Fraction of positions where two equal-length strings agree.
+    Independent uniform strings agree on ≈ 1/256 of positions."""
+    if len(a) != len(b):
+        raise ValueError("strings must have equal length")
+    if not a:
+        return 0.0
+    return sum(x == y for x, y in zip(a, b)) / len(a)
+
+
+def ciphertext_uncorrelated(representations: Sequence[bytes],
+                            threshold: float = 0.1) -> bool:
+    """I1: no pair of link representations of the same cell agrees on
+    more than ``threshold`` of byte positions."""
+    for i in range(len(representations)):
+        for j in range(i + 1, len(representations)):
+            if byte_agreement(representations[i],
+                              representations[j]) > threshold:
+                return False
+    return True
+
+
+def shannon_entropy(data: bytes) -> float:
+    """Byte-level Shannon entropy in bits (max 8.0)."""
+    if not data:
+        return 0.0
+    counts: Dict[int, int] = {}
+    for b in data:
+        counts[b] = counts.get(b, 0) + 1
+    total = len(data)
+    return -sum((c / total) * math.log2(c / total)
+                for c in counts.values())
+
+
+def looks_uniform(data: bytes, min_entropy_bits: float = 7.0) -> bool:
+    """A necessary condition for ciphertext indistinguishability: high
+    byte entropy.  (Real uniformity needs more data than one packet;
+    this catches gross failures such as unencrypted chaff.)"""
+    return shannon_entropy(data) >= min_entropy_bits
+
+
+def mix_knowledge(mix, circuit_id: int) -> Dict[str, Optional[str]]:
+    """I2/I3: everything a mix's circuit table reveals about a circuit —
+    exactly the previous and next hop.  Tests assert the returned dict
+    is the *complete* routing knowledge."""
+    state = mix.circuit_state(circuit_id)
+    return {"prev_hop": state.prev_hop, "next_hop": state.next_hop}
+
+
+def circuit_zone_profile(circuit, mix_zone: Mapping[str, str]) -> List[str]:
+    """I4: the zones of the mixes along a circuit's path."""
+    return [mix_zone[m] for m in circuit.path]
+
+
+def is_uniform_choice(counts: Mapping[object, int],
+                      n_options: int,
+                      tolerance: float = 0.5) -> bool:
+    """I5: observed selection counts are consistent with a uniform
+    choice among ``n_options``: every option's frequency lies within
+    ``tolerance`` (relative) of 1/n.  Needs enough samples to be
+    meaningful."""
+    total = sum(counts.values())
+    if total == 0 or n_options <= 0:
+        raise ValueError("need samples and options")
+    expected = total / n_options
+    if len(counts) < n_options and total >= 10 * n_options:
+        return False  # some option never chosen despite many samples
+    return all(abs(c - expected) <= tolerance * expected
+               for c in counts.values())
+
+
+def series_identical(series_a: Mapping[int, int],
+                     series_b: Mapping[int, int],
+                     bins: Optional[Iterable[int]] = None,
+                     tolerance: float = 0.0) -> bool:
+    """I6/I7: two observed link time series (bytes per bin) are equal
+    bin-for-bin within ``tolerance`` (relative).  Used to show an
+    active caller's link is indistinguishable from an idle client's,
+    and that upstream tampering leaves downstream rates unchanged."""
+    if bins is None:
+        bins = set(series_a) | set(series_b)
+    for idx in bins:
+        a = series_a.get(idx, 0)
+        b = series_b.get(idx, 0)
+        limit = tolerance * max(a, b)
+        if abs(a - b) > limit:
+            return False
+    return True
+
+
+_ACTIVITY_FIELDS = ("active", "call", "voip", "payload", "talking")
+
+
+def sp_state_is_activity_free(sp) -> bool:
+    """I8: nothing in an SP's attribute names or values encodes call
+    activity.  Structural check: the SP type exposes only membership
+    and ciphertext-buffer state (audited here by attribute name)."""
+    for name in vars(sp):
+        lowered = name.lower()
+        if any(marker in lowered for marker in _ACTIVITY_FIELDS):
+            return False
+    return True

@@ -1,0 +1,126 @@
+"""The join protocol (§3.5).
+
+"When a client wishes to join the system, it chooses a zone and is
+redirected by that zone's directory to a mix within the zone.  The
+client then establishes a symmetric key s with the mix [...] Finally,
+the mix either adopts the client with a direct link, or redirects the
+client to one or more of the superpeers connected to the mix."
+
+:func:`join_zone` drives the whole exchange against live directory,
+mix, and SP objects, and returns a :class:`JoinResult` describing where
+the client ended up.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.client import HerdClient, derive_client_mix_key
+from repro.core.directory import ZoneDirectory
+from repro.core.mix import Mix
+from repro.core.superpeer import SuperPeer
+
+_numeric_ids = itertools.count(0)
+
+
+@dataclass
+class JoinResult:
+    """Outcome of a join: the adopting mix and any SP attachments."""
+
+    mix_id: str
+    direct: bool
+    attachments: List[tuple] = field(default_factory=list)  # (sp, channel, slot)
+
+
+def join_zone(client: HerdClient, directory: ZoneDirectory,
+              mixes: Dict[str, Mix],
+              superpeers: Optional[Dict[str, SuperPeer]] = None,
+              channel_choice: Optional[Sequence[int]] = None,
+              rng: Optional[random.Random] = None,
+              exclude_mix: Optional[str] = None) -> JoinResult:
+    """Run the §3.5 join protocol.
+
+    Parameters
+    ----------
+    client:
+        The joining client (its ``zone_id`` selects the zone).
+    directory:
+        The zone's directory (performs the mix redirection and issues
+        the client certificate).
+    mixes:
+        Live mixes of the zone, keyed by id.
+    superpeers:
+        If provided and the adopting mix has channels configured, the
+        client is redirected to SPs: it attaches to ``client.k``
+        channels chosen by the mix (``channel_choice`` overrides the
+        choice for tests).
+    exclude_mix:
+        A mix to avoid — used when re-joining after that mix failed
+        (§3.5: "the client contacts another mix in the same zone").
+    """
+    rng = rng or random.Random(0)
+    if client.zone_id != directory.zone.zone_id:
+        raise ValueError("client is joining through the wrong directory")
+    if client.joined:
+        raise RuntimeError("client already joined")
+
+    # 1. The directory redirects the client to a mix within the zone.
+    mix_id = directory.pick_mix(exclude=exclude_mix)
+    mix = mixes[mix_id]
+
+    # 2. Client ↔ mix key establishment (symmetric key s).
+    eph_pub, eph = client.begin_join()
+    shared = mix.short_term.exchange(eph_pub)
+    session_key = derive_client_mix_key(
+        shared, eph_pub, mix.short_term.public_bytes)
+    numeric_id = next(_numeric_ids)
+    mix.adopt_client(client.client_id, session_key)
+
+    # 3. The directory certifies the client for this zone (re-joining
+    # clients keep their existing certificate).
+    certificate = directory.certificate_of(client.client_id)
+    if certificate is None:
+        certificate = directory.enroll(
+            client.client_id, "client", client.identity.public_bytes,
+            client.short_term.public_bytes)
+    client.finish_join(eph, mix_id, mix.short_term.public_bytes,
+                       numeric_id, certificate)
+    assert client.session_key.key == session_key.key, \
+        "join key agreement mismatch"
+
+    # 4. Adoption: direct link, or redirection to superpeers.
+    if not superpeers or not mix.channels:
+        return JoinResult(mix_id=mix_id, direct=True)
+
+    if channel_choice is None:
+        occupancy = {ch_id: ch.member_count()
+                     for ch_id, ch in mix.channels.items()}
+        channel_choice = []
+        for _ in range(client.k):
+            candidates = [c for c in occupancy if c not in channel_choice]
+            min_occ = min(occupancy[c] for c in candidates)
+            least = [c for c in candidates if occupancy[c] == min_occ]
+            pick = rng.choice(least)
+            channel_choice.append(pick)
+            occupancy[pick] += 1
+    slots = mix.attach_client_to_channels(client.client_id,
+                                          list(channel_choice),
+                                          numeric_id)
+    result = JoinResult(mix_id=mix_id, direct=False)
+    sp_by_channel = {}
+    for sp in superpeers.values():
+        for ch_id in sp.channel_clients:
+            sp_by_channel[ch_id] = sp
+    for ch_id, slot in slots.items():
+        sp = sp_by_channel.get(ch_id)
+        if sp is None:
+            raise ValueError(f"channel {ch_id} is not hosted by any SP")
+        sp_slot = sp.add_client(ch_id, client.client_id)
+        if sp_slot != slot:
+            raise RuntimeError("mix and SP slot assignment diverged")
+        client.attach(sp.sp_id, ch_id, slot)
+        result.attachments.append((sp.sp_id, ch_id, slot))
+    return result

@@ -1,0 +1,189 @@
+"""Upstream XOR network coding and chaff prediction (§3.6.1).
+
+"In the upstream direction, in each round, the SP receives a packet
+from each client attached to a channel.  Because at most one client can
+be active in each channel, we can use a simple form of network coding.
+The SP simply forwards to the mix the XOR of the client packets
+received in each of the r channels, of which at most one is a VoIP
+packet and the rest are chaff.  Because the ciphertext of the chaff
+packets from the idle clients is predictable to the mix (the cleartext
+contains a sequence number and the packets include the IVs), the mix
+can trivially recover the r payload packets from the r XORs it
+receives."
+
+Packet format on client links (fixed :data:`CODED_PACKET_SIZE` bytes,
+encrypted with the client↔mix session key ``s`` via ChaCha20 keyed by
+the packet sequence number — the "IV" the paper mentions):
+
+    1 byte    type: 0x00 chaff, 0x01 payload
+    8 bytes   sequence number
+    N bytes   payload (zeros for chaff)
+
+The mix regenerates each idle client's chaff ciphertext bit-for-bit
+with :class:`ChaffPredictor` and XORs it out; whatever remains is the
+active client's encrypted packet (or nothing, if the channel is idle).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.chacha20 import chacha20_encrypt
+from repro.crypto.keys import SessionKey
+
+#: Payload capacity of one coded packet — sized for an onion cell.
+CODED_PAYLOAD = 292
+_TYPE_CHAFF = 0
+_TYPE_PAYLOAD = 1
+_HEADER = struct.Struct("<BQ")
+CODED_PACKET_SIZE = _HEADER.size + CODED_PAYLOAD
+
+_UP_PREFIX = b"up\x00\x00"
+
+
+def xor_bytes(*chunks: bytes) -> bytes:
+    """XOR any number of equal-length byte strings."""
+    if not chunks:
+        raise ValueError("need at least one chunk")
+    length = len(chunks[0])
+    if any(len(c) != length for c in chunks):
+        raise ValueError("all chunks must have equal length")
+    out = bytearray(chunks[0])
+    for chunk in chunks[1:]:
+        for i, byte in enumerate(chunk):
+            out[i] ^= byte
+    return bytes(out)
+
+
+def _encode_cleartext(kind: int, sequence: int, payload: bytes) -> bytes:
+    if len(payload) > CODED_PAYLOAD:
+        raise ValueError("payload exceeds coded packet capacity")
+    return (_HEADER.pack(kind, sequence)
+            + payload.ljust(CODED_PAYLOAD, b"\x00"))
+
+
+def _keystream_encrypt(key: SessionKey, sequence: int,
+                       cleartext: bytes) -> bytes:
+    nonce = _UP_PREFIX + struct.pack("<Q", sequence)
+    return chacha20_encrypt(key.key, nonce, cleartext)
+
+
+def make_chaff_packet(key: SessionKey, sequence: int) -> bytes:
+    """The encrypted chaff packet an idle client sends at ``sequence``."""
+    return _keystream_encrypt(key, sequence,
+                              _encode_cleartext(_TYPE_CHAFF, sequence, b""))
+
+
+def make_payload_packet(key: SessionKey, sequence: int,
+                        payload: bytes) -> bytes:
+    """The encrypted packet an active client sends carrying ``payload``
+    (an onion cell)."""
+    return _keystream_encrypt(
+        key, sequence, _encode_cleartext(_TYPE_PAYLOAD, sequence, payload))
+
+
+def decrypt_packet(key: SessionKey, sequence: int,
+                   ciphertext: bytes) -> Tuple[bool, bytes]:
+    """Decrypt a client packet; returns (is_payload, payload_bytes).
+
+    Raises :class:`ValueError` if the embedded sequence number does not
+    match (corruption, or wrong keystream)."""
+    if len(ciphertext) != CODED_PACKET_SIZE:
+        raise ValueError("coded packet has the wrong size")
+    clear = _keystream_encrypt(key, sequence, ciphertext)
+    kind, seq = _HEADER.unpack(clear[:_HEADER.size])
+    if seq != sequence:
+        raise ValueError("packet sequence mismatch after decryption")
+    if kind == _TYPE_CHAFF:
+        return False, b""
+    if kind == _TYPE_PAYLOAD:
+        return True, clear[_HEADER.size:]
+    raise ValueError(f"unknown packet type {kind}")
+
+
+class ChaffPredictor:
+    """Mix-side oracle for idle clients' chaff ciphertext.
+
+    "The ciphertext of the chaff packets from the idle clients is
+    predictable to the mix" — given the shared session key and the
+    sequence number from the client's manifest, the ciphertext is
+    recomputed exactly.
+    """
+
+    def __init__(self, client_keys: Dict[int, SessionKey]):
+        self._keys = dict(client_keys)
+
+    def add_client(self, client: int, key: SessionKey) -> None:
+        self._keys[client] = key
+
+    def predict(self, client: int, sequence: int) -> bytes:
+        key = self._keys.get(client)
+        if key is None:
+            raise KeyError(f"no session key for client {client}")
+        return make_chaff_packet(key, sequence)
+
+    def key_of(self, client: int) -> SessionKey:
+        return self._keys[client]
+
+
+def decode_round(xor_packet: bytes,
+                 manifest_entries: Sequence[Tuple[int, int, bool]],
+                 predictor: ChaffPredictor,
+                 active_client: Optional[int] = None
+                 ) -> Tuple[Optional[int], bytes, List[int]]:
+    """Mix-side decode of one channel round (Fig. 2b).
+
+    Parameters
+    ----------
+    xor_packet:
+        The XOR the SP forwarded for this channel.
+    manifest_entries:
+        Decrypted manifests as ``(client, sequence, signal_bit)`` for
+        every client whose packet was included in the XOR.
+    predictor:
+        The chaff oracle holding every client's session key.
+    active_client:
+        The client currently holding this channel's call, if any.  The
+        *mix* allocated the call to the channel (§3.6.3), so this is
+        mix-local state, not something inferred from traffic.
+
+    Returns ``(sender, payload, signalers)`` where ``sender``/
+    ``payload`` identify the round's at-most-one VoIP packet
+    (``None``/b"" if every packet was chaff — including when the active
+    client had nothing to send) and ``signalers`` lists clients whose
+    manifest had the signaling bit set (outgoing-call requests,
+    §3.6.2).
+
+    The mix XORs out the *predicted chaff* of every idle client; the
+    residue is the active client's encrypted packet, decrypted with its
+    session key.  With no active client the residue must be zero — a
+    nonzero residue means a misbehaving SP or client, and the caller is
+    expected to trigger the full-packet audit of §3.6.1 ("the mix asks
+    the SP to send the full packets from which the packets were
+    computed").
+    """
+    if len(xor_packet) != CODED_PACKET_SIZE:
+        raise ValueError("XOR packet has the wrong size")
+    signalers = [client for client, _, signal in manifest_entries
+                 if signal]
+    residue = xor_packet
+    active_seq: Optional[int] = None
+    for client, seq, _ in manifest_entries:
+        if client == active_client:
+            active_seq = seq
+            continue
+        residue = xor_bytes(residue, predictor.predict(client, seq))
+    if active_client is None:
+        if residue != b"\x00" * CODED_PACKET_SIZE:
+            raise ValueError(
+                "XOR round residue nonzero with no active client: "
+                "misbehaving SP or client (full-packet audit required)")
+        return None, b"", signalers
+    if active_seq is None:
+        raise ValueError("active client missing from round manifests")
+    is_payload, payload = decrypt_packet(
+        predictor.key_of(active_client), active_seq, residue)
+    if not is_payload:
+        return None, b"", signalers
+    return active_client, payload, signalers

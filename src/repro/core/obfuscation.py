@@ -1,0 +1,201 @@
+"""Censorship circumvention via bridge SPs and cover traffic.
+
+The paper flags this as future work (§3.1): "To circumvent censorship,
+Herd could rely on SPs with unpublished IP addresses (like Tor bridges)
+and obfuscate client traffic.  Applying obfuscation mechanisms like
+Tor's obfsproxy to Herd is the subject of future work.  A key challenge
+is that appropriate cover traffic must sustain a minimum rate of one
+VoIP call at all times to provide obfuscation."
+
+This module implements that design:
+
+* :class:`BridgeDirectory` — unpublished bridge SPs handed out one at a
+  time through rate-limited, token-authenticated requests (so a censor
+  enumerating bridges burns tokens and only ever learns a few).
+* :class:`ObfuscatedChannel` — an obfsproxy-style wrapper: packets are
+  re-encrypted with a per-bridge key (so no Herd framing survives on
+  the wire) and the *size* is morphed to a cover profile while the
+  send *clock* stays at the chaff rate — satisfying the paper's
+  minimum-rate constraint by construction.
+* :class:`CoverProfile` — size distributions mimicking innocuous UDP
+  traffic (e.g. an online-game or QUIC-like profile).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.crypto.chacha20 import chacha20_encrypt
+from repro.crypto.kdf import hkdf_sha256
+
+
+@dataclass(frozen=True)
+class Bridge:
+    """An SP with an unpublished address."""
+
+    bridge_id: str
+    address: str
+    secret: bytes  # per-bridge obfuscation key seed
+
+
+class BridgeDirectory:
+    """Distributes bridges against single-use invite tokens.
+
+    Tokens are minted by the operator (e.g. handed to trusted community
+    members out of band); each token reveals exactly one bridge, and a
+    bridge is never handed to more than ``max_users_per_bridge``
+    distinct tokens, bounding the damage of a censor's infiltration.
+    """
+
+    def __init__(self, max_users_per_bridge: int = 8, rng=None):
+        if max_users_per_bridge < 1:
+            raise ValueError("need at least one user per bridge")
+        self._rng = rng or random.Random(0)
+        self._bridges: List[Bridge] = []
+        self._assignments: Dict[str, int] = {}  # bridge_id -> users
+        self._tokens: Set[bytes] = set()
+        self._redeemed: Dict[bytes, Bridge] = {}
+        self.max_users_per_bridge = max_users_per_bridge
+
+    def register_bridge(self, bridge_id: str, address: str) -> Bridge:
+        secret = self._rng.getrandbits(256).to_bytes(32, "little")
+        bridge = Bridge(bridge_id, address, secret)
+        self._bridges.append(bridge)
+        self._assignments[bridge_id] = 0
+        return bridge
+
+    def mint_token(self) -> bytes:
+        token = self._rng.getrandbits(128).to_bytes(16, "little")
+        self._tokens.add(token)
+        return token
+
+    def redeem(self, token: bytes) -> Bridge:
+        """Exchange a token for a bridge.  Replaying a token returns
+        the same bridge (no amplification); unknown tokens fail."""
+        if token in self._redeemed:
+            return self._redeemed[token]
+        if token not in self._tokens:
+            raise PermissionError("invalid bridge token")
+        candidates = [b for b in self._bridges
+                      if self._assignments[b.bridge_id]
+                      < self.max_users_per_bridge]
+        if not candidates:
+            raise RuntimeError("no bridge capacity available")
+        bridge = min(candidates,
+                     key=lambda b: self._assignments[b.bridge_id])
+        self._assignments[bridge.bridge_id] += 1
+        self._tokens.discard(token)
+        self._redeemed[token] = bridge
+        return bridge
+
+    def exposure(self, burned_tokens: int) -> int:
+        """Upper bound on distinct bridges a censor learns by burning
+        ``burned_tokens`` tokens."""
+        if burned_tokens < 0:
+            raise ValueError("token count cannot be negative")
+        return min(burned_tokens, len(self._bridges))
+
+
+@dataclass(frozen=True)
+class CoverProfile:
+    """A wire-size profile to imitate.
+
+    ``sizes`` are candidate datagram payload sizes (must all be at
+    least the Herd packet size plus the obfuscation header, so morphing
+    only ever pads).
+    """
+
+    name: str
+    sizes: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.sizes:
+            raise ValueError("profile needs at least one size")
+        if any(s <= 0 for s in self.sizes):
+            raise ValueError("sizes must be positive")
+
+
+#: A generic "game/RTC-like" UDP profile: a few hundred bytes, varied.
+GAME_PROFILE = CoverProfile("game-udp", (340, 372, 420, 480, 512))
+#: A QUIC-like profile: mostly full-MTU datagrams.
+QUIC_PROFILE = CoverProfile("quic", (1200, 1252, 1350))
+
+_LEN = struct.Struct("<H")
+
+
+class ObfuscatedChannel:
+    """Obfsproxy-style wrapping of one client↔bridge link.
+
+    ``wrap`` re-encrypts a Herd packet under the bridge key and pads to
+    a size drawn (deterministically, keyed) from the cover profile, so
+    the wire shows neither Herd framing nor Herd's fixed packet size.
+    ``unwrap`` inverts it.  Because the caller still invokes ``wrap``
+    once per chaff tick, the cover traffic sustains the one-call
+    minimum rate the paper requires.
+    """
+
+    def __init__(self, bridge: Bridge, profile: CoverProfile
+                 = GAME_PROFILE):
+        self.bridge = bridge
+        self.profile = profile
+        self._key = hkdf_sha256(bridge.secret, info=b"herd-obfs-v1")
+        self._send_seq = 0
+        self.packets_wrapped = 0
+
+    def _nonce(self, seq: int) -> bytes:
+        return b"obfs" + struct.pack("<Q", seq)
+
+    _TAG_LEN = 16
+
+    def _size_for(self, seq: int, payload_len: int) -> int:
+        digest = hmac.new(self._key, b"size%d" % seq,
+                          hashlib.sha256).digest()
+        candidates = [s for s in self.profile.sizes
+                      if s >= payload_len + _LEN.size + self._TAG_LEN]
+        if not candidates:
+            raise ValueError(
+                f"packet ({payload_len} B) exceeds every size of "
+                f"profile {self.profile.name!r}")
+        return candidates[digest[0] % len(candidates)]
+
+    def _tag(self, seq: int, ciphertext: bytes) -> bytes:
+        return hmac.new(self._key,
+                        b"tag" + struct.pack("<Q", seq) + ciphertext,
+                        hashlib.sha256).digest()[:self._TAG_LEN]
+
+    def wrap(self, packet: bytes) -> bytes:
+        seq = self._send_seq
+        self._send_seq += 1
+        target = self._size_for(seq, len(packet))
+        body = _LEN.pack(len(packet)) + packet
+        body = body.ljust(target - self._TAG_LEN, b"\x00")
+        ciphertext = chacha20_encrypt(self._key, self._nonce(seq), body)
+        out = (struct.pack("<Q", seq) + ciphertext
+               + self._tag(seq, ciphertext))
+        self.packets_wrapped += 1
+        return out
+
+    def unwrap(self, datagram: bytes) -> bytes:
+        if len(datagram) < 8 + _LEN.size + self._TAG_LEN:
+            raise ValueError("obfuscated datagram too short")
+        (seq,) = struct.unpack("<Q", datagram[:8])
+        ciphertext = datagram[8:-self._TAG_LEN]
+        tag = datagram[-self._TAG_LEN:]
+        if not hmac.compare_digest(tag, self._tag(seq, ciphertext)):
+            raise ValueError("obfuscated datagram failed authentication")
+        body = chacha20_encrypt(self._key, self._nonce(seq), ciphertext)
+        (length,) = _LEN.unpack(body[:_LEN.size])
+        if length > len(body) - _LEN.size:
+            raise ValueError("obfuscated length field corrupt")
+        return body[_LEN.size:_LEN.size + length]
+
+    def wire_sizes(self, n: int, packet_len: int) -> List[int]:
+        """Preview the wire sizes of the next n packets (for tests and
+        the distinguishability analysis)."""
+        return [8 + self._size_for(self._send_seq + i, packet_len)
+                for i in range(n)]

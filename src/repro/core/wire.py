@@ -1,0 +1,249 @@
+"""Wire encodings for Herd control-plane messages.
+
+The data plane has precise wire formats (coded packets, manifests,
+cells, DTLS records); this module gives the *control* messages the same
+treatment so a deployment can actually interoperate across processes:
+
+* CREATE / CREATED circuit handshakes (§3.2),
+* descriptors and certificates (§3.2–3.3) — re-using their canonical
+  signing bytes,
+* rendezvous registration and call-setup (INVITE/ACCEPT) payloads,
+* join requests/responses (§3.5).
+
+The format is a minimal, explicit TLV: every message starts with a
+1-byte type and each field is length-prefixed.  Decoding is strict —
+trailing bytes, bad lengths, or unknown types raise
+:class:`WireError` — because a mix must never act on a malformed
+message.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.circuit import CreateRequest, CreateReply
+
+
+class WireError(ValueError):
+    """Raised for any malformed control message."""
+
+
+MSG_CREATE = 0x01
+MSG_CREATED = 0x02
+MSG_JOIN_REQUEST = 0x03
+MSG_JOIN_RESPONSE = 0x04
+MSG_RENDEZVOUS_REGISTER = 0x05
+MSG_INVITE = 0x06
+MSG_ACCEPT = 0x07
+
+_U16 = struct.Struct("<H")
+_U64 = struct.Struct("<Q")
+
+
+def _put_bytes(out: List[bytes], data: bytes) -> None:
+    if len(data) > 0xFFFF:
+        raise WireError("field too long")
+    out.append(_U16.pack(len(data)))
+    out.append(data)
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise WireError("message truncated")
+        out = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.take(8))[0]
+
+    def field(self) -> bytes:
+        return self.take(self.u16())
+
+    def finish(self) -> None:
+        if self._pos != len(self._data):
+            raise WireError("trailing bytes after message")
+
+
+def _expect_type(reader: _Reader, expected: int) -> None:
+    (got,) = reader.take(1)
+    if got != expected:
+        raise WireError(f"unexpected message type 0x{got:02x}")
+
+
+# -- circuit handshakes ---------------------------------------------------------
+
+def encode_create(request: CreateRequest) -> bytes:
+    out: List[bytes] = [bytes([MSG_CREATE]),
+                        _U64.pack(request.circuit_id)]
+    _put_bytes(out, request.client_ephemeral)
+    return b"".join(out)
+
+
+def decode_create(data: bytes) -> CreateRequest:
+    reader = _Reader(data)
+    _expect_type(reader, MSG_CREATE)
+    circuit_id = reader.u64()
+    ephemeral = reader.field()
+    reader.finish()
+    if len(ephemeral) != 32:
+        raise WireError("ephemeral key must be 32 bytes")
+    return CreateRequest(circuit_id, ephemeral)
+
+
+def encode_created(reply: CreateReply) -> bytes:
+    out: List[bytes] = [bytes([MSG_CREATED]),
+                        _U64.pack(reply.circuit_id)]
+    _put_bytes(out, reply.mix_ephemeral)
+    _put_bytes(out, reply.confirmation)
+    return b"".join(out)
+
+
+def decode_created(data: bytes) -> CreateReply:
+    reader = _Reader(data)
+    _expect_type(reader, MSG_CREATED)
+    circuit_id = reader.u64()
+    ephemeral = reader.field()
+    confirmation = reader.field()
+    reader.finish()
+    if len(ephemeral) != 32:
+        raise WireError("ephemeral key must be 32 bytes")
+    if len(confirmation) != 16:
+        raise WireError("confirmation must be 16 bytes")
+    return CreateReply(circuit_id, ephemeral, confirmation)
+
+
+# -- join protocol ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """Client→mix: the §3.5 key-establishment opener."""
+
+    client_id: str
+    client_ephemeral: bytes
+
+
+@dataclass(frozen=True)
+class JoinResponse:
+    """Mix→client: adoption outcome."""
+
+    numeric_id: int
+    mix_short_term_public: bytes
+    #: (sp_id, channel_id, slot) triples; empty for a direct adoption.
+    attachments: Tuple[Tuple[str, int, int], ...] = ()
+
+
+def encode_join_request(request: JoinRequest) -> bytes:
+    out: List[bytes] = [bytes([MSG_JOIN_REQUEST])]
+    _put_bytes(out, request.client_id.encode("utf-8"))
+    _put_bytes(out, request.client_ephemeral)
+    return b"".join(out)
+
+
+def decode_join_request(data: bytes) -> JoinRequest:
+    reader = _Reader(data)
+    _expect_type(reader, MSG_JOIN_REQUEST)
+    client_id = reader.field().decode("utf-8")
+    ephemeral = reader.field()
+    reader.finish()
+    if len(ephemeral) != 32:
+        raise WireError("ephemeral key must be 32 bytes")
+    return JoinRequest(client_id, ephemeral)
+
+
+def encode_join_response(response: JoinResponse) -> bytes:
+    out: List[bytes] = [bytes([MSG_JOIN_RESPONSE]),
+                        _U64.pack(response.numeric_id)]
+    _put_bytes(out, response.mix_short_term_public)
+    out.append(_U16.pack(len(response.attachments)))
+    for sp_id, channel, slot in response.attachments:
+        _put_bytes(out, sp_id.encode("utf-8"))
+        out.append(_U16.pack(channel))
+        out.append(_U16.pack(slot))
+    return b"".join(out)
+
+
+def decode_join_response(data: bytes) -> JoinResponse:
+    reader = _Reader(data)
+    _expect_type(reader, MSG_JOIN_RESPONSE)
+    numeric_id = reader.u64()
+    mix_public = reader.field()
+    if len(mix_public) != 32:
+        raise WireError("mix public key must be 32 bytes")
+    count = reader.u16()
+    attachments = []
+    for _ in range(count):
+        sp_id = reader.field().decode("utf-8")
+        channel = reader.u16()
+        slot = reader.u16()
+        attachments.append((sp_id, channel, slot))
+    reader.finish()
+    return JoinResponse(numeric_id, mix_public, tuple(attachments))
+
+
+# -- rendezvous / call setup -----------------------------------------------------
+
+@dataclass(frozen=True)
+class RendezvousRegister:
+    """Client→directory (over its circuit): publish a rendezvous."""
+
+    client_public: bytes
+    rendezvous_mix: str
+
+
+def encode_rendezvous_register(msg: RendezvousRegister) -> bytes:
+    out: List[bytes] = [bytes([MSG_RENDEZVOUS_REGISTER])]
+    _put_bytes(out, msg.client_public)
+    _put_bytes(out, msg.rendezvous_mix.encode("utf-8"))
+    return b"".join(out)
+
+
+def decode_rendezvous_register(data: bytes) -> RendezvousRegister:
+    reader = _Reader(data)
+    _expect_type(reader, MSG_RENDEZVOUS_REGISTER)
+    public = reader.field()
+    mix_id = reader.field().decode("utf-8")
+    reader.finish()
+    if len(public) != 32:
+        raise WireError("client public key must be 32 bytes")
+    return RendezvousRegister(public, mix_id)
+
+
+@dataclass(frozen=True)
+class CallSetup:
+    """INVITE/ACCEPT payload: an e2e ephemeral key plus the call id."""
+
+    is_accept: bool
+    call_id: int
+    ephemeral: bytes
+
+
+def encode_call_setup(msg: CallSetup) -> bytes:
+    out: List[bytes] = [bytes([MSG_ACCEPT if msg.is_accept
+                               else MSG_INVITE]),
+                        _U64.pack(msg.call_id)]
+    _put_bytes(out, msg.ephemeral)
+    return b"".join(out)
+
+
+def decode_call_setup(data: bytes) -> CallSetup:
+    reader = _Reader(data)
+    (msg_type,) = reader.take(1)
+    if msg_type not in (MSG_INVITE, MSG_ACCEPT):
+        raise WireError(f"unexpected message type 0x{msg_type:02x}")
+    call_id = reader.u64()
+    ephemeral = reader.field()
+    reader.finish()
+    if len(ephemeral) != 32:
+        raise WireError("ephemeral key must be 32 bytes")
+    return CallSetup(msg_type == MSG_ACCEPT, call_id, ephemeral)

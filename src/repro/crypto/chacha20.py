@@ -1,0 +1,165 @@
+"""ChaCha20 stream cipher and ChaCha20-Poly1305 AEAD (RFC 8439).
+
+Herd pads all links with encrypted chaff whose ciphertext must look
+uniformly random to an observer, while remaining *predictable to the
+mix* that shares the symmetric key (§3.6.1: "the ciphertext of the
+chaff packets from the idle clients is predictable to the mix").  A
+stream cipher in counter mode gives exactly that property, and is what
+the XOR network-coding decode at the mix relies on.
+
+This module implements:
+
+* the ChaCha20 block function and keystream generator,
+* ``chacha20_encrypt`` (pure XOR stream encryption), and
+* :class:`ChaCha20Poly1305`, the AEAD construction used by the
+  DTLS-like record layer for hop-by-hop authenticated encryption.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(v: int, c: int) -> int:
+    return ((v << c) & _MASK32) | (v >> (32 - c))
+
+
+def _quarter_round(state, a, b, c, d):
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """The ChaCha20 block function (RFC 8439 §2.3): 64 bytes of keystream."""
+    if len(key) != 32:
+        raise ValueError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != 12:
+        raise ValueError("ChaCha20 nonce must be 12 bytes")
+    if not 0 <= counter < 2 ** 32:
+        raise ValueError("ChaCha20 block counter must fit in 32 bits")
+
+    state = list(_CONSTANTS)
+    state.extend(struct.unpack("<8I", key))
+    state.append(counter)
+    state.extend(struct.unpack("<3I", nonce))
+    working = list(state)
+    for _ in range(10):
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    out = [(working[i] + state[i]) & _MASK32 for i in range(16)]
+    return struct.pack("<16I", *out)
+
+
+def chacha20_keystream(key: bytes, nonce: bytes, length: int,
+                       counter: int = 0) -> bytes:
+    """Generate ``length`` bytes of ChaCha20 keystream."""
+    if length < 0:
+        raise ValueError("keystream length must be non-negative")
+    blocks = []
+    produced = 0
+    while produced < length:
+        blocks.append(chacha20_block(key, counter, nonce))
+        counter += 1
+        produced += 64
+    return b"".join(blocks)[:length]
+
+
+def chacha20_encrypt(key: bytes, nonce: bytes, plaintext: bytes,
+                     counter: int = 1) -> bytes:
+    """Encrypt (or decrypt — the operation is symmetric) with ChaCha20."""
+    stream = chacha20_keystream(key, nonce, len(plaintext), counter)
+    return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+
+# --------------------------------------------------------------------------
+# Poly1305 one-time authenticator (RFC 8439 §2.5)
+# --------------------------------------------------------------------------
+
+_P1305 = (1 << 130) - 5
+
+
+def poly1305_mac(msg: bytes, key: bytes) -> bytes:
+    """Compute the 16-byte Poly1305 tag of ``msg`` under a 32-byte key."""
+    if len(key) != 32:
+        raise ValueError("Poly1305 key must be 32 bytes")
+    r = int.from_bytes(key[:16], "little")
+    r &= 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+    s = int.from_bytes(key[16:], "little")
+    acc = 0
+    for i in range(0, len(msg), 16):
+        chunk = msg[i:i + 16]
+        n = int.from_bytes(chunk, "little") + (1 << (8 * len(chunk)))
+        acc = (acc + n) * r % _P1305
+    acc = (acc + s) % (1 << 128)
+    return acc.to_bytes(16, "little")
+
+
+def _pad16(data: bytes) -> bytes:
+    if len(data) % 16 == 0:
+        return b""
+    return b"\x00" * (16 - len(data) % 16)
+
+
+class ChaCha20Poly1305:
+    """The AEAD_CHACHA20_POLY1305 construction (RFC 8439 §2.8).
+
+    Provides ``encrypt(nonce, plaintext, aad)`` returning
+    ciphertext||tag, and ``decrypt`` raising :class:`ValueError` on
+    authentication failure.
+    """
+
+    TAG_LEN = 16
+
+    def __init__(self, key: bytes):
+        if len(key) != 32:
+            raise ValueError("AEAD key must be 32 bytes")
+        self._key = key
+
+    def _poly_key(self, nonce: bytes) -> bytes:
+        return chacha20_block(self._key, 0, nonce)[:32]
+
+    def _tag(self, nonce: bytes, ciphertext: bytes, aad: bytes) -> bytes:
+        mac_data = (aad + _pad16(aad)
+                    + ciphertext + _pad16(ciphertext)
+                    + struct.pack("<QQ", len(aad), len(ciphertext)))
+        return poly1305_mac(mac_data, self._poly_key(nonce))
+
+    def encrypt(self, nonce: bytes, plaintext: bytes,
+                aad: bytes = b"") -> bytes:
+        ciphertext = chacha20_encrypt(self._key, nonce, plaintext, counter=1)
+        return ciphertext + self._tag(nonce, ciphertext, aad)
+
+    def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
+        if len(data) < self.TAG_LEN:
+            raise ValueError("ciphertext shorter than the AEAD tag")
+        ciphertext, tag = data[:-self.TAG_LEN], data[-self.TAG_LEN:]
+        expected = self._tag(nonce, ciphertext, aad)
+        if not _const_eq(tag, expected):
+            raise ValueError("AEAD authentication failed")
+        return chacha20_encrypt(self._key, nonce, ciphertext, counter=1)
+
+
+def _const_eq(a: bytes, b: bytes) -> bool:
+    if len(a) != len(b):
+        return False
+    result = 0
+    for x, y in zip(a, b):
+        result |= x ^ y
+    return result == 0

@@ -1,0 +1,194 @@
+"""Ed25519 signatures (RFC 8032), pure Python.
+
+Herd participants hold a long-term identity key pair ``l`` "used to sign
+DTLS certificates and their descriptors" (§3.2).  This module provides
+the signature scheme for those identity keys: Ed25519 over
+edwards25519, following RFC 8032 §5.1 (point compression, SHA-512
+hashing, cofactored verification via the standard equation).
+
+Like the rest of :mod:`repro.crypto`, this is a clear, from-scratch
+implementation intended for correctness within the reproduction, not for
+production hardening.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+
+P = 2 ** 255 - 19
+L = 2 ** 252 + 27742317777372353535851937790883648493
+D = (-121665 * pow(121666, P - 2, P)) % P
+_I = pow(2, (P - 1) // 4, P)  # sqrt(-1)
+
+
+def _sha512(data: bytes) -> bytes:
+    return hashlib.sha512(data).digest()
+
+
+def _inv(x: int) -> int:
+    return pow(x, P - 2, P)
+
+
+def _recover_x(y: int, sign: int) -> int:
+    """Recover the x-coordinate from y and the sign bit (RFC 8032 §5.1.3)."""
+    if y >= P:
+        raise ValueError("invalid point encoding: y >= p")
+    x2 = (y * y - 1) * _inv(D * y * y + 1) % P
+    if x2 == 0:
+        if sign:
+            raise ValueError("invalid point encoding: x=0 with sign bit")
+        return 0
+    x = pow(x2, (P + 3) // 8, P)
+    if (x * x - x2) % P != 0:
+        x = x * _I % P
+    if (x * x - x2) % P != 0:
+        raise ValueError("invalid point encoding: not on curve")
+    if (x & 1) != sign:
+        x = P - x
+    return x
+
+
+# Points are extended homogeneous coordinates (X, Y, Z, T), x = X/Z,
+# y = Y/Z, x*y = T/Z.
+_IDENT = (0, 1, 1, 0)
+
+
+def _point_add(p, q):
+    x1, y1, z1, t1 = p
+    x2, y2, z2, t2 = q
+    a = (y1 - x1) * (y2 - x2) % P
+    b = (y1 + x1) * (y2 + x2) % P
+    c = 2 * t1 * t2 * D % P
+    d = 2 * z1 * z2 % P
+    e = b - a
+    f = d - c
+    g = d + c
+    h = b + a
+    return (e * f % P, g * h % P, f * g % P, e * h % P)
+
+
+def _point_mul(s: int, p):
+    q = _IDENT
+    while s > 0:
+        if s & 1:
+            q = _point_add(q, p)
+        p = _point_add(p, p)
+        s >>= 1
+    return q
+
+
+def _point_equal(p, q) -> bool:
+    x1, y1, z1, _ = p
+    x2, y2, z2, _ = q
+    return (x1 * z2 - x2 * z1) % P == 0 and (y1 * z2 - y2 * z1) % P == 0
+
+
+def _point_compress(p) -> bytes:
+    x, y, z, _ = p
+    zinv = _inv(z)
+    x = x * zinv % P
+    y = y * zinv % P
+    return (y | ((x & 1) << 255)).to_bytes(32, "little")
+
+
+def _point_decompress(s: bytes):
+    if len(s) != 32:
+        raise ValueError("point encoding must be 32 bytes")
+    val = int.from_bytes(s, "little")
+    sign = val >> 255
+    y = val & ((1 << 255) - 1)
+    x = _recover_x(y, sign)
+    return (x, y, 1, x * y % P)
+
+
+_BY = 4 * _inv(5) % P
+_BX = _recover_x(_BY, 0)
+_B = (_BX, _BY, 1, _BX * _BY % P)
+
+
+def _secret_expand(secret: bytes):
+    if len(secret) != 32:
+        raise ValueError("Ed25519 seed must be 32 bytes")
+    h = _sha512(secret)
+    a = int.from_bytes(h[:32], "little")
+    a &= (1 << 254) - 8
+    a |= 1 << 254
+    return a, h[32:]
+
+
+def _public_key(secret: bytes) -> bytes:
+    a, _ = _secret_expand(secret)
+    return _point_compress(_point_mul(a, _B))
+
+
+def _sign(secret: bytes, msg: bytes) -> bytes:
+    a, prefix = _secret_expand(secret)
+    pub = _point_compress(_point_mul(a, _B))
+    r = int.from_bytes(_sha512(prefix + msg), "little") % L
+    big_r = _point_compress(_point_mul(r, _B))
+    h = int.from_bytes(_sha512(big_r + pub + msg), "little") % L
+    s = (r + h * a) % L
+    return big_r + s.to_bytes(32, "little")
+
+
+def _verify(public: bytes, msg: bytes, signature: bytes) -> bool:
+    if len(public) != 32 or len(signature) != 64:
+        return False
+    try:
+        a_point = _point_decompress(public)
+        r_point = _point_decompress(signature[:32])
+    except ValueError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= L:
+        return False
+    h = int.from_bytes(_sha512(signature[:32] + public + msg), "little") % L
+    lhs = _point_mul(s, _B)
+    rhs = _point_add(r_point, _point_mul(h, a_point))
+    return _point_equal(lhs, rhs)
+
+
+@dataclass(frozen=True)
+class VerifyKey:
+    """An Ed25519 public (verification) key."""
+
+    public_bytes: bytes
+
+    def __post_init__(self):
+        if len(self.public_bytes) != 32:
+            raise ValueError("Ed25519 public key must be 32 bytes")
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Return True iff ``signature`` is valid for ``message``."""
+        return _verify(self.public_bytes, message, signature)
+
+
+@dataclass(frozen=True)
+class SigningKey:
+    """An Ed25519 private (signing) key derived from a 32-byte seed."""
+
+    seed: bytes
+
+    def __post_init__(self):
+        if len(self.seed) != 32:
+            raise ValueError("Ed25519 seed must be 32 bytes")
+
+    @classmethod
+    def generate(cls, rng=None) -> "SigningKey":
+        """Generate a fresh key; ``rng`` (``random.Random``) makes it
+        deterministic for simulations."""
+        if rng is None:
+            material = os.urandom(32)
+        else:
+            material = rng.getrandbits(256).to_bytes(32, "little")
+        return cls(material)
+
+    @property
+    def verify_key(self) -> VerifyKey:
+        return VerifyKey(_public_key(self.seed))
+
+    def sign(self, message: bytes) -> bytes:
+        """Produce a 64-byte detached signature over ``message``."""
+        return _sign(self.seed, message)

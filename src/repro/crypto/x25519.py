@@ -1,0 +1,141 @@
+"""X25519 Diffie-Hellman key exchange (RFC 7748), pure Python.
+
+Herd negotiates symmetric, ephemeral session keys using curve25519
+(§3.2: "the implementation relies on the OpenSSL and curve25519
+libraries").  This module implements the Montgomery-ladder scalar
+multiplication over Curve25519 exactly as specified in RFC 7748 §5,
+including scalar clamping and u-coordinate masking.
+
+The implementation favours clarity over speed; it is fast enough for the
+handshake counts exercised by the simulator and tests.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+P = 2 ** 255 - 19
+A24 = 121665
+_BASE_POINT_U = 9
+
+
+def _clamp(scalar_bytes: bytes) -> int:
+    """Clamp a 32-byte scalar per RFC 7748 §5 (decodeScalar25519)."""
+    if len(scalar_bytes) != 32:
+        raise ValueError("X25519 scalar must be exactly 32 bytes")
+    b = bytearray(scalar_bytes)
+    b[0] &= 248
+    b[31] &= 127
+    b[31] |= 64
+    return int.from_bytes(bytes(b), "little")
+
+
+def _decode_u(u_bytes: bytes) -> int:
+    """Decode a 32-byte u-coordinate, masking the top bit per RFC 7748."""
+    if len(u_bytes) != 32:
+        raise ValueError("X25519 u-coordinate must be exactly 32 bytes")
+    b = bytearray(u_bytes)
+    b[31] &= 127
+    return int.from_bytes(bytes(b), "little") % P
+
+
+def _encode_u(u: int) -> bytes:
+    return (u % P).to_bytes(32, "little")
+
+
+def _cswap(swap: int, a: int, b: int) -> tuple:
+    """Constant-time-style conditional swap (branchless arithmetic)."""
+    mask = -swap  # 0 or all-ones in two's complement
+    dummy = mask & (a ^ b)
+    return a ^ dummy, b ^ dummy
+
+
+def _ladder(k: int, u: int) -> int:
+    """The Montgomery ladder from RFC 7748 §5."""
+    x1 = u
+    x2, z2 = 1, 0
+    x3, z3 = u, 1
+    swap = 0
+    for t in range(254, -1, -1):
+        k_t = (k >> t) & 1
+        swap ^= k_t
+        x2, x3 = _cswap(swap, x2, x3)
+        z2, z3 = _cswap(swap, z2, z3)
+        swap = k_t
+
+        a = (x2 + z2) % P
+        aa = (a * a) % P
+        b = (x2 - z2) % P
+        bb = (b * b) % P
+        e = (aa - bb) % P
+        c = (x3 + z3) % P
+        d = (x3 - z3) % P
+        da = (d * a) % P
+        cb = (c * b) % P
+        x3 = (da + cb) % P
+        x3 = (x3 * x3) % P
+        z3 = (da - cb) % P
+        z3 = (z3 * z3) % P
+        z3 = (z3 * x1) % P
+        x2 = (aa * bb) % P
+        z2 = (e * ((aa + A24 * e) % P)) % P
+
+    x2, x3 = _cswap(swap, x2, x3)
+    z2, z3 = _cswap(swap, z2, z3)
+    return (x2 * pow(z2, P - 2, P)) % P
+
+
+def x25519(scalar_bytes: bytes, u_bytes: bytes) -> bytes:
+    """Compute X25519(k, u): scalar multiplication on Curve25519.
+
+    Raises :class:`ValueError` if the result is the all-zero value,
+    which indicates a low-order input point (RFC 7748 §6.1 check).
+    """
+    k = _clamp(scalar_bytes)
+    u = _decode_u(u_bytes)
+    result = _ladder(k, u)
+    out = _encode_u(result)
+    if out == b"\x00" * 32:
+        raise ValueError("X25519 produced the all-zero shared secret "
+                         "(low-order public key)")
+    return out
+
+
+def x25519_base(scalar_bytes: bytes) -> bytes:
+    """Compute the public key for a private scalar (u = 9)."""
+    k = _clamp(scalar_bytes)
+    return _encode_u(_ladder(k, _BASE_POINT_U))
+
+
+@dataclass(frozen=True)
+class X25519PrivateKey:
+    """An X25519 private key with its derived public key.
+
+    Use :meth:`generate` for a fresh random key, or construct from
+    32 bytes of secret material for deterministic tests.
+    """
+
+    private_bytes: bytes
+
+    def __post_init__(self):
+        if len(self.private_bytes) != 32:
+            raise ValueError("X25519 private key must be 32 bytes")
+
+    @classmethod
+    def generate(cls, rng=None) -> "X25519PrivateKey":
+        """Generate a fresh key; ``rng`` is an optional ``random.Random``
+        used for reproducible simulations (defaults to ``os.urandom``)."""
+        if rng is None:
+            material = os.urandom(32)
+        else:
+            material = rng.getrandbits(256).to_bytes(32, "little")
+        return cls(material)
+
+    @property
+    def public_bytes(self) -> bytes:
+        return x25519_base(self.private_bytes)
+
+    def exchange(self, peer_public_bytes: bytes) -> bytes:
+        """Perform the Diffie-Hellman exchange with a peer public key."""
+        return x25519(self.private_bytes, peer_public_bytes)

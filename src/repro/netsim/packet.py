@@ -1,0 +1,46 @@
+"""Simulated network packets.
+
+A :class:`Packet` carries opaque ``payload`` bytes (often a sealed DTLS
+datagram produced by :mod:`repro.crypto.dtls`) plus bookkeeping used by
+the simulator and the adversary's observer.  The adversary sees only
+``size`` and timing — the fields an eavesdropper on an encrypted link
+can record; protocol code may read ``payload``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_packet_ids = itertools.count()
+
+#: IPv4 (20) + UDP (8) header bytes added to every datagram on the wire.
+IP_UDP_HEADER_BYTES = 28
+
+
+@dataclass
+class Packet:
+    """One datagram in flight.
+
+    ``kind`` is a protocol-internal label ("voip", "chaff", "signal",
+    "control"); it exists for instrumentation and is *never* visible to
+    the adversary model (observers record only size and time).
+    """
+
+    payload: bytes
+    src: str
+    dst: str
+    kind: str = "data"
+    circuit_id: Optional[int] = None
+    sent_at: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def size(self) -> int:
+        """On-the-wire size in bytes (payload plus IP/UDP headers)."""
+        return len(self.payload) + IP_UDP_HEADER_BYTES
+
+    def __repr__(self) -> str:  # compact repr for simulation logs
+        return (f"Packet(#{self.packet_id} {self.src}->{self.dst} "
+                f"{self.kind} {self.size}B)")

@@ -1,0 +1,138 @@
+"""Geographic topology with an EC2-derived inter-region latency matrix.
+
+The paper's prototype deployment spans 4 Amazon EC2 data centers in
+Australia, Europe, North and South America (Fig. 7).  This module
+models that geography:
+
+* :class:`Region` — a continent-scale region hosting one or more sites.
+* :class:`Site` — a data center (a Herd *zone* maps onto one site).
+* :class:`GeoTopology` — one-way delays between sites, within a site
+  (intra-data-center), and over last-mile access links.
+
+The inter-region one-way delays below are representative public
+measurements between EC2 regions circa 2015 (the paper's era): e.g.
+EU↔NA ~45 ms, AU↔EU ~150 ms one-way.  They reproduce the *shape* of
+Fig. 7 — AU pairs sit one MOS band below intra-Atlantic pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Region:
+    """A continent-scale region, e.g. ``Region("EU", "Europe")``."""
+
+    code: str
+    name: str
+
+
+#: The four regions of the paper's deployment (Fig. 7).
+EC2_REGIONS = {
+    "AU": Region("AU", "Australia (ap-southeast-2)"),
+    "EU": Region("EU", "Europe (eu-west-1)"),
+    "NA": Region("NA", "North America (us-east-1)"),
+    "SA": Region("SA", "South America (sa-east-1)"),
+}
+
+#: One-way inter-region delays in seconds (symmetric).  Sources:
+#: public EC2 inter-region RTT measurements (halved), 2014-2015 era.
+_INTER_REGION_OWD = {
+    ("AU", "EU"): 0.165,
+    ("AU", "NA"): 0.110,
+    ("AU", "SA"): 0.170,
+    ("EU", "NA"): 0.045,
+    ("EU", "SA"): 0.095,
+    ("NA", "SA"): 0.060,
+}
+
+#: One-way delay within a data center (Herd intra-zone hops).
+INTRA_SITE_OWD = 0.0005
+
+#: One-way delay between two sites in the same region but different
+#: data centers (large jurisdictions with several providers).
+INTRA_REGION_OWD = 0.010
+
+#: Typical last-mile access delay for clients/SPs on broadband,
+#: university, or home networks (one way, to the region backbone).
+DEFAULT_ACCESS_OWD = 0.020
+DEFAULT_ACCESS_JITTER = 0.003
+
+
+@dataclass(frozen=True)
+class Site:
+    """A data center: the physical home of a Herd zone's mixes."""
+
+    site_id: str
+    region_code: str
+
+    @property
+    def region(self) -> Region:
+        return EC2_REGIONS[self.region_code]
+
+
+class GeoTopology:
+    """Delay oracle between sites and for access links.
+
+    ``one_way_delay(a, b)`` composes:
+
+    * 0.5 ms within a site,
+    * 10 ms between sites of the same region,
+    * the EC2 matrix between regions.
+    """
+
+    def __init__(self, sites: Optional[List[Site]] = None):
+        self.sites: Dict[str, Site] = {}
+        for site in sites or []:
+            self.add_site(site)
+
+    def add_site(self, site: Site) -> Site:
+        if site.region_code not in EC2_REGIONS:
+            raise ValueError(f"unknown region {site.region_code!r}")
+        if site.site_id in self.sites:
+            raise ValueError(f"duplicate site id {site.site_id!r}")
+        self.sites[site.site_id] = site
+        return site
+
+    def inter_region_delay(self, region_a: str, region_b: str) -> float:
+        """One-way backbone delay between two regions."""
+        if region_a == region_b:
+            return INTRA_REGION_OWD
+        key: Tuple[str, str] = tuple(sorted((region_a, region_b)))
+        try:
+            return _INTER_REGION_OWD[key]
+        except KeyError:
+            raise ValueError(f"no delay data for region pair {key}")
+
+    def one_way_delay(self, site_a: str, site_b: str) -> float:
+        """One-way delay between two sites."""
+        a = self.sites[site_a]
+        b = self.sites[site_b]
+        if site_a == site_b:
+            return INTRA_SITE_OWD
+        if a.region_code == b.region_code:
+            return INTRA_REGION_OWD
+        return self.inter_region_delay(a.region_code, b.region_code)
+
+    def access_delay(self, site_id: str, region_code: str,
+                     access_owd: float = DEFAULT_ACCESS_OWD) -> float:
+        """One-way delay from an end host in ``region_code`` to a mix at
+        ``site_id``: last mile plus any backbone distance."""
+        site = self.sites[site_id]
+        backbone = 0.0
+        if site.region_code != region_code:
+            backbone = self.inter_region_delay(site.region_code,
+                                               region_code)
+        return access_owd + backbone
+
+
+def default_topology() -> GeoTopology:
+    """The paper's 4-zone deployment: one site per region."""
+    return GeoTopology([
+        Site("dc-au", "AU"),
+        Site("dc-eu", "EU"),
+        Site("dc-na", "NA"),
+        Site("dc-sa", "SA"),
+    ])

@@ -1,0 +1,128 @@
+"""Zone-level trace simulation: provisioning and rate epochs.
+
+"We determine the peak number of calls and statically provision the
+Herd topology of mixes and SPs accordingly so the network has enough
+capacity to handle the peak call rate" (§4.1.2).
+
+:func:`provision_zone` sizes a zone (channels, SPs, mixes) from a
+trace's peak concurrency; :func:`rate_epoch_series` replays the trace
+through a :class:`~repro.core.chaffing.RateController` at epoch
+granularity, producing the provisioned-rate timeline that the cost
+model charges for and demonstrating that rate changes are infrequent
+("such changes take place at time scales of hours").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.chaffing import RateController
+from repro.workload.cdr import CallTrace
+
+
+@dataclass
+class ProvisioningResult:
+    """Static sizing of one zone for a workload."""
+
+    n_users: int
+    peak_calls: int
+    peak_duty_cycle: float
+    n_channels: int
+    n_sps: int
+    n_mixes: int
+
+    @property
+    def offload_factor(self) -> float:
+        """n/a (§3.6): online clients over peak active calls — the
+        upper bound on the SPs' bandwidth reduction."""
+        if self.peak_calls == 0:
+            return float(self.n_users)
+        return self.n_users / self.peak_calls
+
+    @property
+    def bandwidth_reduction(self) -> float:
+        """The reduction actually realized by this provisioning:
+        clients over channels (channels cannot go below n/cpc)."""
+        if self.n_channels == 0:
+            return 1.0
+        return self.n_users / self.n_channels
+
+
+def provision_zone(trace: CallTrace, n_users: int,
+                   clients_per_channel: int = 10,
+                   clients_per_sp: int = 100,
+                   channels_per_mix: int = 2000,
+                   step: float = 60.0) -> ProvisioningResult:
+    """Size a zone so C ≥ peak concurrent calls (§3.6.3: "the number of
+    channels C per zone is chosen to exceed the expected number of
+    active calls a within the zone during the busiest period")."""
+    if n_users <= 0:
+        raise ValueError("need a positive user count")
+    peak = trace.peak_concurrency(step)
+    # Channels must satisfy both the packing constraint (n / cpc) and
+    # the capacity constraint (≥ peak calls).
+    n_channels = max(peak, -(-n_users // clients_per_channel))
+    n_sps = max(1, -(-n_users // clients_per_sp))
+    n_mixes = max(1, -(-n_channels // channels_per_mix))
+    return ProvisioningResult(
+        n_users=n_users,
+        peak_calls=peak,
+        peak_duty_cycle=trace.peak_duty_cycle(n_users, step),
+        n_channels=n_channels,
+        n_sps=n_sps,
+        n_mixes=n_mixes,
+    )
+
+
+def rate_epoch_series(trace: CallTrace, epoch_seconds: float = 3600.0,
+                      controller: Optional[RateController] = None
+                      ) -> List[Tuple[int, float, int]]:
+    """Replay a trace through a rate controller at epoch granularity.
+
+    Returns one ``(epoch, peak_load, provisioned_rate)`` tuple per
+    epoch.  The controller sees each epoch's *peak* concurrent calls
+    (links must carry the worst minute) and decides the next rate.
+    """
+    controller = controller or RateController()
+    profile = trace.concurrency_profile(step=60.0)
+    per_epoch = max(1, int(epoch_seconds // 60.0))
+    series: List[Tuple[int, float, int]] = []
+    for epoch, start in enumerate(range(0, len(profile), per_epoch)):
+        peak_load = float(profile[start:start + per_epoch].max()) \
+            if len(profile[start:start + per_epoch]) else 0.0
+        rate = controller.on_epoch(epoch, peak_load)
+        series.append((epoch, peak_load, rate))
+    return series
+
+
+def interzone_traffic_matrix(trace: CallTrace, n_zones: int,
+                             interzone_fraction: Optional[float] = None
+                             ) -> np.ndarray:
+    """Split a trace's call volume across zone pairs.
+
+    Users are assigned to zones by id hash; entry (i, j) counts calls
+    between zones i and j.  If ``interzone_fraction`` is given, callees
+    are instead re-assigned so that exactly that fraction of calls
+    crosses zones (the §4.1.6 sweep's knob).
+    """
+    if n_zones < 1:
+        raise ValueError("need at least one zone")
+    matrix = np.zeros((n_zones, n_zones), dtype=np.int64)
+    acc = 0.0
+    for idx, record in enumerate(trace.records):
+        zi = record.caller % n_zones
+        if interzone_fraction is None:
+            zj = record.callee % n_zones
+        else:
+            # Bresenham-style accumulator: exactly the requested
+            # fraction crosses zones, with no modulo bias.
+            acc += interzone_fraction
+            crosses = acc >= 1.0
+            if crosses:
+                acc -= 1.0
+            zj = (zi + 1) % n_zones if crosses and n_zones > 1 else zi
+        matrix[min(zi, zj), max(zi, zj)] += 1
+    return matrix

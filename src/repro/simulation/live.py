@@ -1,0 +1,247 @@
+"""A live, round-based Herd zone: the full SP data plane in motion.
+
+Runs one zone's complete data path at codec-frame granularity, with
+every mechanism of §3.4 and §3.6 active each round:
+
+* every client emits one encrypted packet + manifest per attached
+  channel (payload only on its call's channel, chaff elsewhere),
+* each SP XOR-combines its channels' packets and forwards them with
+  the manifest lists,
+* the mix decrypts manifests, decodes the XOR rounds, reacts to
+  signaling bits (RANKING allocation + GRANT), routes recovered voice
+  cells to their destination call, and produces the downstream round
+  (GRANT / INCOMING / VOIP / chaff),
+* SPs broadcast downstream packets to every channel member; each
+  client trial-decrypts everything.
+
+Calls between two clients of the zone loop through the mix
+(caller channel → mix → callee channel), which is exactly the intra-mix
+segment of a Herd circuit; the integration test splices this onto the
+inter-mix rendezvous path.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.core.callmanager import CallState, ClientCallAgent, \
+    MixCallManager
+from repro.core.channel import decode_manifest
+from repro.core.join import join_zone
+from repro.core.client import HerdClient
+from repro.simulation.testbed import HerdTestbed, build_testbed
+
+
+@dataclass
+class LiveClient:
+    """A client plus its call agent and voice queues."""
+
+    client: HerdClient
+    agent: ClientCallAgent
+    outbox: Deque[bytes] = field(default_factory=deque)
+
+    @property
+    def numeric_id(self) -> int:
+        return self.client.numeric_id
+
+
+class LiveZone:
+    """One zone running live rounds."""
+
+    def __init__(self, n_clients: int = 12, n_channels: int = 4,
+                 k: int = 2, n_sps: int = 1,
+                 seed: int = 20150817,
+                 bed: Optional[HerdTestbed] = None,
+                 zone_id: str = "zone-EU",
+                 client_prefix: str = "client"):
+        if n_sps < 1:
+            raise ValueError("need at least one superpeer")
+        if n_sps > n_channels:
+            raise ValueError("cannot have more SPs than channels")
+        if bed is None:
+            bed = build_testbed([(zone_id, "dc-eu", 1)], seed=seed)
+        self.bed: HerdTestbed = bed
+        self.zone_id = zone_id
+        self.client_prefix = client_prefix
+        self.mix = self.bed.mixes[f"{zone_id}/mix-0"]
+        self.mix.configure_channels(n_channels)
+        # Channels are partitioned round-robin across the zone's SPs
+        # (the paper runs "100 SPs per mix"; Fig. 3 shows one channel
+        # per SP as the extreme case).
+        self.sps = [self.bed.add_superpeer(
+            f"{zone_id}/sp-{i}", self.mix.mix_id,
+            channels=range(i, n_channels, n_sps))
+            for i in range(n_sps)]
+        self.sp = self.sps[0]  # backward-compatible alias
+        self._sp_of_channel = {ch: sp for sp in self.sps
+                               for ch in sp.channel_clients}
+        self.manager = MixCallManager(self.mix,
+                                      random.Random(seed))
+        self.clients: Dict[str, LiveClient] = {}
+        self._by_numeric: Dict[int, LiveClient] = {}
+        #: numeric id → numeric id of the call peer (both directions).
+        self.peers: Dict[int, int] = {}
+        #: Optional hook for cross-zone routing: called with
+        #: (numeric_id, payload) for voice recovered from clients whose
+        #: call peer is not local (see simulation.federation).
+        self.external_router = None
+        self.round_index = 0
+        self.rng = random.Random(seed + 1)
+        for i in range(n_clients):
+            self._add_client(f"{client_prefix}-{i}", k)
+
+    def _add_client(self, client_id: str, k: int) -> LiveClient:
+        client = HerdClient(client_id, self.zone_id, rng=self.bed.rng,
+                            k=k)
+        zone_sps = {sp_id: sp for sp_id, sp
+                    in self.bed.superpeers.items()
+                    if sp.mix_id == self.mix.mix_id}
+        join_zone(client, self.bed.directories[self.zone_id],
+                  {self.mix.mix_id: self.mix}, superpeers=zone_sps,
+                  rng=self.bed.rng)
+        slots = {a.channel_id: a.slot for a in client.attachments}
+        self.manager.register_client(client_id, client.numeric_id,
+                                     slots)
+        live = LiveClient(client=client,
+                          agent=ClientCallAgent(client))
+        self.clients[client_id] = live
+        self._by_numeric[client.numeric_id] = live
+        self.bed.clients[client_id] = client
+        return live
+
+    # -- call control ----------------------------------------------------------
+
+    def start_call(self, caller_id: str, callee_id: str) -> None:
+        """The caller signals; once granted, the mix rings the callee
+        and the two calls are bridged at the mix."""
+        caller = self.clients[caller_id]
+        callee = self.clients[callee_id]
+        caller.agent.start_outgoing()
+        self.peers[caller.numeric_id] = callee.numeric_id
+        self.peers[callee.numeric_id] = caller.numeric_id
+
+    def hang_up(self, client_id: str) -> None:
+        live = self.clients[client_id]
+        peer_numeric = self.peers.pop(live.numeric_id, None)
+        self.manager.end_call(live.numeric_id)
+        live.agent.hang_up()
+        if peer_numeric is not None:
+            peer = self._by_numeric[peer_numeric]
+            self.peers.pop(peer_numeric, None)
+            self.manager.end_call(peer_numeric)
+            peer.agent.hang_up()
+
+    def say(self, client_id: str, cell: bytes) -> None:
+        """Queue a voice cell for the client's active call."""
+        self.clients[client_id].outbox.append(cell)
+
+    # -- the round engine ------------------------------------------------------
+
+    def _upstream(self) -> None:
+        for channel_id, sp in sorted(self._sp_of_channel.items()):
+            self._upstream_channel(channel_id, sp)
+
+    def _upstream_channel(self, channel_id: int, sp) -> None:
+        members = sp.channel_clients[channel_id]
+        packets, manifests = [], []
+        for client_id in members:
+            live = self.clients[client_id]
+            attachment = next(a for a in live.client.attachments
+                              if a.channel_id == channel_id)
+            payload = None
+            if live.agent.state is CallState.IN_CALL and \
+                    live.agent.active_channel == channel_id and \
+                    live.outbox:
+                payload = live.outbox.popleft()
+            pkt, manifest = live.client.upstream_packet(attachment,
+                                                        payload)
+            packets.append(pkt)
+            manifests.append(manifest)
+        if not packets:
+            return
+        up = sp.combine_upstream(channel_id, self.round_index,
+                                 packets, manifests)
+        entries = []
+        for slot, raw in enumerate(up.manifests):
+            client_id = self.mix.client_at_slot(channel_id, slot)
+            key = self.mix.client_keys[client_id]
+            numeric = self.mix.channels[channel_id].members[slot]
+            live = self.clients[client_id]
+            attachment = next(a for a in live.client.attachments
+                              if a.channel_id == channel_id)
+            m = decode_manifest(raw, key, slot,
+                                expected_sequence=attachment.sequence
+                                - 1)
+            entries.append((numeric, m.sequence, m.signal))
+        active, payload = self.manager.process_upstream(
+            channel_id, up.xor_packet, entries)
+        if active is not None and payload:
+            self._route_voice(active, payload)
+
+    def _route_voice(self, from_numeric: int, cell: bytes) -> None:
+        """Bridge a recovered voice cell to the peer's call (the
+        intra-mix segment of the circuit).  Upstream payloads are
+        zero-padded to the coded-packet capacity; the voice unit inside
+        is a fixed-size circuit cell, so the mix forwards exactly
+        CELL_SIZE bytes."""
+        from repro.crypto.onion import CELL_SIZE
+        peer_numeric = self.peers.get(from_numeric)
+        if peer_numeric is None:
+            if self.external_router is not None:
+                self.external_router(from_numeric, cell)
+            return
+        if peer_numeric in self.manager.calls:
+            self.manager.enqueue_voice(peer_numeric, cell[:CELL_SIZE])
+
+    def _ring_pending_callees(self) -> None:
+        """Once a caller's channel is granted, place the incoming leg
+        at the callee (the rendezvous would normally carry this)."""
+        for numeric, peer in list(self.peers.items()):
+            caller = self._by_numeric[numeric]
+            callee = self._by_numeric[peer]
+            if caller.agent.state is CallState.IN_CALL and \
+                    callee.agent.state is CallState.IDLE and \
+                    peer not in self.manager.calls:
+                self.manager.place_incoming(peer)
+
+    def _downstream(self) -> None:
+        round_packets = self.manager.downstream_round(self.round_index)
+        for channel_id, packet in round_packets.items():
+            sp = self._sp_of_channel[channel_id]
+            for client_id, pkt in sp.broadcast_downstream(
+                    channel_id, packet):
+                live = self.clients[client_id]
+                live.agent.process_downstream(channel_id,
+                                              self.round_index, pkt)
+
+    def step(self) -> None:
+        """One codec-frame round: upstream, control, downstream."""
+        self._upstream()
+        self._ring_pending_callees()
+        self._downstream()
+        self.round_index += 1
+
+    def run(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.step()
+
+    # -- rate orchestration (§3.4.2) ---------------------------------------------
+
+    def run_rate_epoch(self, epoch: int) -> Dict[str, int]:
+        """Close a rate epoch: the mix reports its aggregate utilization
+        to the zone directory, which returns the rates every link group
+        must apply simultaneously.  In deployment this happens at hour
+        scale; tests call it directly."""
+        self.mix.report_utilization()
+        return self.bed.directories[self.zone_id].run_epoch(epoch)
+
+    # -- introspection ------------------------------------------------------------
+
+    def state_of(self, client_id: str) -> CallState:
+        return self.clients[client_id].agent.state
+
+    def received_by(self, client_id: str) -> List[bytes]:
+        return self.clients[client_id].agent.received_cells

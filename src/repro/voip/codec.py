@@ -1,0 +1,85 @@
+"""Voice codec models.
+
+Herd's *unit rate* ``u`` is "the payload rate of a single voice call"
+(§3.1), evaluated with G.711: 8 KB/s of payload (§4.1.3).  A codec here
+is a small value object giving frame timing, payload sizes, and the
+E-Model equipment-impairment coefficients from Cole & Rosenbluth
+("Voice over IP performance monitoring", CCR 2001), used by
+:mod:`repro.voip.emodel` to map packet loss to the Ie impairment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Codec:
+    """A voice codec's traffic and quality parameters.
+
+    Attributes
+    ----------
+    name:
+        Human-readable codec name.
+    frame_ms:
+        Packetization interval in milliseconds (one RTP packet per
+        frame).
+    payload_bytes:
+        Voice payload bytes per RTP packet.
+    ie_gamma1, ie_gamma2, ie_gamma3:
+        Coefficients of the loss-impairment curve
+        ``Ie = γ1 + γ2 · ln(1 + γ3 · e)`` with ``e`` the end-to-end
+        loss fraction (Cole & Rosenbluth Table 1).
+    lookahead_ms:
+        Encoder lookahead, adds to mouth-to-ear delay.
+    """
+
+    name: str
+    frame_ms: float
+    payload_bytes: int
+    ie_gamma1: float
+    ie_gamma2: float
+    ie_gamma3: float
+    lookahead_ms: float = 0.0
+
+    @property
+    def packets_per_second(self) -> float:
+        return 1000.0 / self.frame_ms
+
+    @property
+    def payload_rate_bps(self) -> float:
+        """Voice payload rate in bytes/second (the paper's unit rate u)."""
+        return self.payload_bytes * self.packets_per_second
+
+    @property
+    def bitrate_kbps(self) -> float:
+        """Payload bitrate in kbit/s."""
+        return self.payload_rate_bps * 8.0 / 1000.0
+
+    def loss_impairment(self, loss_fraction: float) -> float:
+        """The E-Model Ie impairment for a given end-to-end loss rate."""
+        import math
+        if not 0.0 <= loss_fraction <= 1.0:
+            raise ValueError("loss fraction must be in [0, 1]")
+        return (self.ie_gamma1
+                + self.ie_gamma2 * math.log(1.0 + self.ie_gamma3
+                                            * loss_fraction))
+
+
+#: G.711 (PCM, 64 kbit/s): 20 ms frames, 160-byte payloads → 8 KB/s,
+#: the rate used throughout the paper's evaluation.
+G711 = Codec(name="G.711", frame_ms=20.0, payload_bytes=160,
+             ie_gamma1=0.0, ie_gamma2=30.0, ie_gamma3=15.0)
+
+#: G.729a (CS-ACELP, 8 kbit/s): two 10-ms frames per 20-ms packet.
+G729 = Codec(name="G.729a", frame_ms=20.0, payload_bytes=20,
+             ie_gamma1=11.0, ie_gamma2=40.0, ie_gamma3=10.0,
+             lookahead_ms=5.0)
+
+#: An Opus-like narrowband entry (16 kbit/s, 20 ms frames) for
+#: experiments beyond the paper's G.711 baseline.
+OPUS_NB = Codec(name="Opus-NB", frame_ms=20.0, payload_bytes=40,
+                ie_gamma1=0.0, ie_gamma2=20.0, ie_gamma3=10.0,
+                lookahead_ms=2.5)
+
+CODECS = {c.name: c for c in (G711, G729, OPUS_NB)}

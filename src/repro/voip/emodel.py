@@ -1,0 +1,130 @@
+"""The ITU-T G.107 E-Model for VoIP, after Cole & Rosenbluth.
+
+The paper evaluates perceived call quality with the E-Model (§4.3.1):
+"an analytic model of call quality defined by the ITU, which calculates
+the Rating factor (R-factor) [...] The R-factor ranges from 0 to 100
+and directly determines the Mean Opinion Score (MOS) [...] For VoIP
+environments, the R-factor is defined in terms of mouth-to-ear delay
+and packet loss.  We refer to Cole et al. for more details."
+
+This module implements exactly that reduced model
+(Cole & Rosenbluth, SIGCOMM CCR 2001):
+
+    R  = 94.2 − Id(d) − Ie(e)
+    Id = 0.024·d + 0.11·(d − 177.3)·H(d − 177.3)       [d in ms]
+    Ie = γ1 + γ2 · ln(1 + γ3·e)                         [codec-specific]
+
+with ``H`` the Heaviside step, ``d`` the mouth-to-ear delay and ``e``
+the end-to-end loss fraction, and the standard R→MOS conversion
+
+    MOS = 1 + 0.035·R + 7·10⁻⁶·R·(R − 60)·(100 − R).
+
+Fig. 7's horizontal bands (poor/low/medium/high/perfect) correspond to
+the conventional R-factor user-satisfaction bands, exposed here as
+:data:`MOS_BANDS` / :func:`quality_band`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.voip.codec import Codec, G711
+
+#: Default mouth-to-ear delay components beyond the network (ms):
+#: encoding + packetization (one frame) + jitter-buffer + playout.
+DEFAULT_CODEC_DELAY_MS = 20.0
+DEFAULT_JITTER_BUFFER_MS = 40.0
+
+#: (threshold, band) pairs on the R scale, highest first — the five
+#: horizontal bands of Fig. 7.
+MOS_BANDS: List[Tuple[float, str]] = [
+    (90.0, "perfect"),
+    (80.0, "high"),
+    (70.0, "medium"),
+    (60.0, "low"),
+    (0.0, "poor"),
+]
+
+
+def delay_impairment(delay_ms: float) -> float:
+    """Id: the delay impairment of the reduced E-Model."""
+    if delay_ms < 0:
+        raise ValueError("delay must be non-negative")
+    impairment = 0.024 * delay_ms
+    if delay_ms > 177.3:
+        impairment += 0.11 * (delay_ms - 177.3)
+    return impairment
+
+
+def r_factor(one_way_delay_ms: float, loss_fraction: float = 0.0,
+             codec: Codec = G711) -> float:
+    """The R-factor for a mouth-to-ear delay (ms) and loss fraction."""
+    r = 94.2
+    r -= delay_impairment(one_way_delay_ms)
+    r -= codec.loss_impairment(loss_fraction)
+    return max(0.0, min(100.0, r))
+
+
+def mos_from_r(r: float) -> float:
+    """Convert an R-factor to a Mean Opinion Score (1.0–4.5)."""
+    if r <= 0:
+        return 1.0
+    if r >= 100:
+        return 4.5
+    mos = 1.0 + 0.035 * r + 7e-6 * r * (r - 60.0) * (100.0 - r)
+    return max(1.0, min(4.5, mos))
+
+
+def quality_band(r: float) -> str:
+    """Fig. 7's band name for an R-factor."""
+    for threshold, band in MOS_BANDS:
+        if r >= threshold:
+            return band
+    return "poor"
+
+
+@dataclass(frozen=True)
+class CallQuality:
+    """The E-Model's verdict on one call direction."""
+
+    mouth_to_ear_ms: float
+    loss_fraction: float
+    r: float
+    mos: float
+    band: str
+
+
+class EModel:
+    """E-Model evaluator configured for a codec and endpoint delays.
+
+    ``evaluate(network_owd_ms, loss)`` adds the codec and jitter-buffer
+    delays to the network's one-way delay — the same accounting as the
+    paper's experiment, where volunteers' clients measured end-to-end
+    latency and loss every second.
+    """
+
+    def __init__(self, codec: Codec = G711,
+                 codec_delay_ms: float = DEFAULT_CODEC_DELAY_MS,
+                 jitter_buffer_ms: float = DEFAULT_JITTER_BUFFER_MS):
+        self.codec = codec
+        self.codec_delay_ms = codec_delay_ms
+        self.jitter_buffer_ms = jitter_buffer_ms
+
+    def mouth_to_ear_ms(self, network_owd_ms: float) -> float:
+        return (network_owd_ms + self.codec_delay_ms
+                + self.codec.lookahead_ms + self.jitter_buffer_ms)
+
+    def evaluate(self, network_owd_ms: float,
+                 loss_fraction: float = 0.0) -> CallQuality:
+        if network_owd_ms < 0:
+            raise ValueError("network delay must be non-negative")
+        m2e = self.mouth_to_ear_ms(network_owd_ms)
+        r = r_factor(m2e, loss_fraction, self.codec)
+        return CallQuality(
+            mouth_to_ear_ms=m2e,
+            loss_fraction=loss_fraction,
+            r=r,
+            mos=mos_from_r(r),
+            band=quality_band(r),
+        )

@@ -1,0 +1,166 @@
+"""Forward error correction for lossy SP paths (§3.6.4).
+
+"Legitimate SPs that fail to meet the standard due to an unreliable
+network may require their clients to use error-correcting codes on
+their encrypted channels to the mix, thus reducing the effective loss
+rate to acceptable levels."
+
+This module implements a simple systematic XOR parity code over groups
+of ``k`` packets: after every k data packets one parity packet (the
+XOR of the group) is sent.  Any single loss within a group is
+recovered; the overhead is 1/k.  Because both data and parity are
+fixed-size ciphertext, FEC composes with chaffing without changing the
+wire image beyond the rate multiple.
+
+:func:`effective_loss` gives the closed-form residual loss under
+independent losses, used by the ablation bench to pick k for a target
+quality level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.network_coding import xor_bytes
+
+
+@dataclass(frozen=True)
+class FecPacket:
+    """One packet of an FEC-protected stream."""
+
+    group: int
+    index: int          # 0..k-1 for data, k for parity
+    is_parity: bool
+    payload: bytes
+
+
+class FecEncoder:
+    """Systematic encoder: emit k data packets then one parity."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self._group = 0
+        self._index = 0
+        self._acc: Optional[bytes] = None
+
+    def encode(self, payload: bytes) -> List[FecPacket]:
+        """Encode one data packet; returns it, plus the group's parity
+        packet when the group completes."""
+        out = [FecPacket(self._group, self._index, False, payload)]
+        if self._acc is None:
+            self._acc = payload
+        else:
+            if len(payload) != len(self._acc):
+                raise ValueError("FEC packets must have equal size")
+            self._acc = xor_bytes(self._acc, payload)
+        self._index += 1
+        if self._index == self.k:
+            out.append(FecPacket(self._group, self.k, True, self._acc))
+            self._group += 1
+            self._index = 0
+            self._acc = None
+        return out
+
+    @property
+    def overhead(self) -> float:
+        """Fractional bandwidth overhead: one parity per k data."""
+        return 1.0 / self.k
+
+
+class FecDecoder:
+    """Decoder: recovers any single missing data packet per group.
+
+    Feed arriving packets with :meth:`receive`; completed (or
+    recovered) data packets come back in order per group via the return
+    value.  :meth:`flush_group` finalizes a group whose stragglers will
+    never arrive.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self._groups: Dict[int, Dict[int, bytes]] = {}
+        self._parity: Dict[int, bytes] = {}
+        self._done: Dict[int, bool] = {}
+        self.recovered = 0
+        self.unrecoverable = 0
+
+    def receive(self, packet: FecPacket) -> List[Tuple[int, int, bytes]]:
+        """Process an arrival; returns newly available data packets as
+        (group, index, payload) — including any recovered by parity."""
+        if self._done.get(packet.group):
+            return []
+        if packet.is_parity:
+            self._parity[packet.group] = packet.payload
+            fresh: List[Tuple[int, int, bytes]] = []
+        else:
+            group = self._groups.setdefault(packet.group, {})
+            if packet.index in group:
+                return []
+            group[packet.index] = packet.payload
+            fresh = [(packet.group, packet.index, packet.payload)]
+        fresh.extend(self._try_recover(packet.group))
+        return fresh
+
+    def _try_recover(self, group_id: int) -> List[Tuple[int, int, bytes]]:
+        group = self._groups.get(group_id, {})
+        parity = self._parity.get(group_id)
+        if len(group) == self.k:
+            self._done[group_id] = True
+            return []
+        if parity is None or len(group) != self.k - 1:
+            return []
+        missing = next(i for i in range(self.k) if i not in group)
+        payload = parity
+        for data in group.values():
+            payload = xor_bytes(payload, data)
+        group[missing] = payload
+        self._done[group_id] = True
+        self.recovered += 1
+        return [(group_id, missing, payload)]
+
+    def flush_group(self, group_id: int) -> int:
+        """Give up on a group's missing packets; returns how many data
+        packets were lost for good."""
+        group = self._groups.get(group_id, {})
+        lost = self.k - len(group)
+        if lost > 0 and not self._done.get(group_id):
+            self.unrecoverable += lost
+        self._done[group_id] = True
+        return max(0, lost)
+
+
+def effective_loss(raw_loss: float, k: int) -> float:
+    """Residual data-packet loss after (k, 1) XOR parity under
+    independent losses.
+
+    A data packet is lost for good iff it is dropped AND at least one
+    other packet of its k+1-packet group (k−1 data siblings + parity)
+    is also dropped.
+    """
+    if not 0.0 <= raw_loss <= 1.0:
+        raise ValueError("loss must be in [0, 1]")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    p = raw_loss
+    all_others_arrive = (1.0 - p) ** k
+    return p * (1.0 - all_others_arrive)
+
+
+def k_for_target_loss(raw_loss: float, target_loss: float,
+                      max_k: int = 64) -> Optional[int]:
+    """Largest k (least overhead) whose residual loss meets the target;
+    None if even k=1 cannot."""
+    if target_loss <= 0:
+        raise ValueError("target must be positive")
+    if raw_loss <= target_loss:
+        return max_k
+    best = None
+    for k in range(1, max_k + 1):
+        if effective_loss(raw_loss, k) <= target_loss:
+            best = k
+    return best

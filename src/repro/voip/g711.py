@@ -1,0 +1,104 @@
+"""G.711 µ-law companding: the actual codec transform.
+
+The rest of :mod:`repro.voip` models G.711's *traffic* (160-byte
+frames, 50 pps); this module implements its *signal* path — ITU-T
+G.711 µ-law encode/decode between 16-bit linear PCM and 8-bit
+companded samples — so examples and tests can push real audio through
+a Herd call and verify what arrives is what was said.
+
+The implementation follows the standard segmented companding law
+(bias 0x84, 8 segments, inverted output bits) and round-trips every
+encodable value exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+_BIAS = 0x84
+_CLIP = 32635
+_SEG_ENDS = (0xFF, 0x1FF, 0x3FF, 0x7FF, 0xFFF, 0x1FFF, 0x3FFF, 0x7FFF)
+
+
+def ulaw_encode_sample(sample: int) -> int:
+    """Encode one 16-bit signed linear sample to one µ-law byte."""
+    if not -32768 <= sample <= 32767:
+        raise ValueError("sample must be 16-bit signed")
+    sign = 0x80 if sample < 0 else 0x00
+    magnitude = min(-sample if sample < 0 else sample, _CLIP) + _BIAS
+    segment = 0
+    for seg, end in enumerate(_SEG_ENDS):
+        if magnitude <= end:
+            segment = seg
+            break
+    mantissa = (magnitude >> (segment + 3)) & 0x0F
+    return ~(sign | (segment << 4) | mantissa) & 0xFF
+
+
+def ulaw_decode_sample(byte: int) -> int:
+    """Decode one µ-law byte to a 16-bit signed linear sample."""
+    if not 0 <= byte <= 255:
+        raise ValueError("µ-law byte out of range")
+    byte = ~byte & 0xFF
+    sign = byte & 0x80
+    segment = (byte >> 4) & 0x07
+    mantissa = byte & 0x0F
+    magnitude = ((mantissa << 3) + _BIAS) << segment
+    magnitude -= _BIAS
+    return -magnitude if sign else magnitude
+
+
+def ulaw_encode(samples: Sequence[int]) -> bytes:
+    """Encode 16-bit linear PCM to µ-law bytes."""
+    return bytes(ulaw_encode_sample(s) for s in samples)
+
+
+def ulaw_decode(data: bytes) -> List[int]:
+    """Decode µ-law bytes to 16-bit linear PCM."""
+    return [ulaw_decode_sample(b) for b in data]
+
+
+def tone_frame(frequency_hz: float, frame_index: int = 0,
+               sample_rate: int = 8000, samples: int = 160,
+               amplitude: float = 0.5) -> bytes:
+    """One µ-law-encoded frame of a sine tone (a 20 ms G.711 frame at
+    the defaults) — synthetic 'voice' for examples and tests."""
+    if not 0.0 <= amplitude <= 1.0:
+        raise ValueError("amplitude must be in [0, 1]")
+    start = frame_index * samples
+    pcm = [int(amplitude * 32000
+               * math.sin(2 * math.pi * frequency_hz
+                          * (start + i) / sample_rate))
+           for i in range(samples)]
+    return ulaw_encode(pcm)
+
+
+def mix_linear(frames: Sequence[Sequence[int]]) -> List[int]:
+    """Mix several linear-PCM frames by saturating addition — the
+    conference bridge's proper mixing domain (compand → mix → expand
+    beats mixing companded bytes)."""
+    if not frames:
+        raise ValueError("need at least one frame")
+    length = len(frames[0])
+    if any(len(f) != length for f in frames):
+        raise ValueError("frames must have equal length")
+    out = []
+    for i in range(length):
+        total = sum(f[i] for f in frames)
+        out.append(max(-32768, min(32767, total)))
+    return out
+
+
+def signal_to_noise_db(reference: Sequence[int],
+                       decoded: Sequence[int]) -> float:
+    """SNR of a decoded signal against its reference (dB)."""
+    if len(reference) != len(decoded) or not reference:
+        raise ValueError("signals must be non-empty and equal length")
+    signal = sum(s * s for s in reference)
+    noise = sum((s - d) ** 2 for s, d in zip(reference, decoded))
+    if noise == 0:
+        return float("inf")
+    if signal == 0:
+        return 0.0
+    return 10.0 * math.log10(signal / noise)

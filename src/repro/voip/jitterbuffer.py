@@ -1,0 +1,108 @@
+"""Playout (jitter) buffer model.
+
+The E-Model consumes a single mouth-to-ear delay and loss figure, but a
+real receiver trades those off through its playout buffer: frames
+arriving later than ``buffer_ms`` after their playout deadline are
+*late losses*.  This module models that trade-off:
+
+* :class:`PlayoutBuffer` — replay a sequence of per-frame network
+  delays and report late-loss rate plus the effective mouth-to-ear
+  delay.
+* :func:`optimal_buffer_ms` — the buffer size minimizing E-Model
+  impairment for a measured delay distribution, i.e. what an adaptive
+  VoIP client converges to.
+
+Used with :mod:`repro.simulation.deployment` / ``wired`` measurements,
+this closes the loop from simulated per-packet delays to a principled
+MOS, instead of assuming a fixed buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.voip.codec import Codec, G711
+from repro.voip.emodel import EModel, CallQuality
+
+
+@dataclass
+class PlayoutResult:
+    """Outcome of replaying a delay series through a buffer."""
+
+    buffer_ms: float
+    frames: int
+    late_frames: int
+    base_delay_ms: float
+
+    @property
+    def late_loss(self) -> float:
+        if self.frames == 0:
+            return 0.0
+        return self.late_frames / self.frames
+
+    @property
+    def playout_delay_ms(self) -> float:
+        """Effective network+buffer delay: frames play at
+        (minimum observed delay + buffer)."""
+        return self.base_delay_ms + self.buffer_ms
+
+
+class PlayoutBuffer:
+    """A fixed playout buffer anchored at the minimum observed delay.
+
+    Frame *i* (sent at ``i × frame_ms``) is played at
+    ``i × frame_ms + base_delay + buffer``; a frame whose network delay
+    exceeds ``base_delay + buffer`` misses its slot and is discarded.
+    """
+
+    def __init__(self, buffer_ms: float, codec: Codec = G711):
+        if buffer_ms < 0:
+            raise ValueError("buffer must be non-negative")
+        self.buffer_ms = buffer_ms
+        self.codec = codec
+
+    def replay(self, delays_ms: Sequence[float]) -> PlayoutResult:
+        if not delays_ms:
+            return PlayoutResult(self.buffer_ms, 0, 0, 0.0)
+        if any(d < 0 for d in delays_ms):
+            raise ValueError("delays cannot be negative")
+        base = min(delays_ms)
+        deadline = base + self.buffer_ms
+        late = sum(1 for d in delays_ms if d > deadline)
+        return PlayoutResult(self.buffer_ms, len(delays_ms), late, base)
+
+
+def quality_with_buffer(delays_ms: Sequence[float], buffer_ms: float,
+                        network_loss: float = 0.0,
+                        codec: Codec = G711) -> CallQuality:
+    """E-Model quality for a delay series under a given buffer:
+    effective loss = network loss + late loss; delay = playout delay."""
+    result = PlayoutBuffer(buffer_ms, codec).replay(delays_ms)
+    loss = min(1.0, network_loss
+               + (1.0 - network_loss) * result.late_loss)
+    model = EModel(codec, jitter_buffer_ms=buffer_ms)
+    return model.evaluate(result.base_delay_ms, loss)
+
+
+def optimal_buffer_ms(delays_ms: Sequence[float],
+                      network_loss: float = 0.0,
+                      codec: Codec = G711,
+                      candidates: Optional[Iterable[float]] = None
+                      ) -> Tuple[float, CallQuality]:
+    """The buffer size maximizing the R-factor for a delay series.
+
+    Searches the given candidate sizes (default 0–200 ms in 10 ms
+    steps).  Returns (buffer_ms, quality at that buffer).
+    """
+    if not delays_ms:
+        raise ValueError("need at least one delay sample")
+    if candidates is None:
+        candidates = [10.0 * i for i in range(0, 21)]
+    best: Optional[Tuple[float, CallQuality]] = None
+    for buffer_ms in candidates:
+        quality = quality_with_buffer(delays_ms, buffer_ms,
+                                      network_loss, codec)
+        if best is None or quality.r > best[1].r:
+            best = (buffer_ms, quality)
+    return best

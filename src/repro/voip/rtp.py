@@ -1,0 +1,108 @@
+"""RTP-style packetization of a voice stream.
+
+The Herd client feeds fixed-size codec frames into circuit cells; chaff
+packets are "equal to the size and rate of the VoIP codec's packets"
+(§3.4.1).  This module produces that stream: an :class:`RtpPacketizer`
+emits one :class:`RtpPacket` per codec frame with monotonically
+increasing sequence numbers and media timestamps, and can reconstruct
+arrival statistics (loss, jitter per RFC 3550) on the receiving side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.voip.codec import Codec
+
+#: Bytes of RTP header per packet (RFC 3550 fixed header, no CSRC).
+RTP_HEADER_BYTES = 12
+
+
+@dataclass(frozen=True)
+class RtpPacket:
+    """One RTP packet of a voice stream."""
+
+    sequence: int
+    timestamp_ms: float
+    payload: bytes
+    ssrc: int = 0
+    marker: bool = False
+
+    @property
+    def size(self) -> int:
+        return RTP_HEADER_BYTES + len(self.payload)
+
+
+class RtpPacketizer:
+    """Emits the RTP packet stream for one direction of a call."""
+
+    def __init__(self, codec: Codec, ssrc: int = 0,
+                 fill_byte: bytes = b"\xa5"):
+        if len(fill_byte) != 1:
+            raise ValueError("fill_byte must be a single byte")
+        self.codec = codec
+        self.ssrc = ssrc
+        self._fill = fill_byte
+        self._sequence = 0
+
+    def next_packet(self) -> RtpPacket:
+        """The next packet of synthetic voice payload."""
+        pkt = RtpPacket(
+            sequence=self._sequence,
+            timestamp_ms=self._sequence * self.codec.frame_ms,
+            payload=self._fill * self.codec.payload_bytes,
+            ssrc=self.ssrc,
+            marker=self._sequence == 0,
+        )
+        self._sequence += 1
+        return pkt
+
+    def stream(self, duration_s: float) -> List[RtpPacket]:
+        """All packets for ``duration_s`` seconds of talk."""
+        count = int(duration_s * self.codec.packets_per_second)
+        return [self.next_packet() for _ in range(count)]
+
+
+class RtpReceiver:
+    """Receiver-side statistics: loss and RFC 3550 interarrival jitter."""
+
+    def __init__(self, codec: Codec):
+        self.codec = codec
+        self._highest_seq: Optional[int] = None
+        self._received = 0
+        self._jitter_ms = 0.0
+        self._last_transit: Optional[float] = None
+
+    def on_packet(self, packet: RtpPacket, arrival_ms: float) -> None:
+        """Record a packet arrival at wall-clock ``arrival_ms``."""
+        self._received += 1
+        if self._highest_seq is None or packet.sequence > self._highest_seq:
+            self._highest_seq = packet.sequence
+        transit = arrival_ms - packet.timestamp_ms
+        if self._last_transit is not None:
+            d = abs(transit - self._last_transit)
+            # RFC 3550 §6.4.1 jitter estimator.
+            self._jitter_ms += (d - self._jitter_ms) / 16.0
+        self._last_transit = transit
+
+    @property
+    def expected(self) -> int:
+        if self._highest_seq is None:
+            return 0
+        return self._highest_seq + 1
+
+    @property
+    def received(self) -> int:
+        return self._received
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.expected == 0:
+            return 0.0
+        lost = max(0, self.expected - self._received)
+        return lost / self.expected
+
+    @property
+    def jitter_ms(self) -> float:
+        return self._jitter_ms

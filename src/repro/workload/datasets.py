@@ -1,0 +1,79 @@
+"""Dataset presets matching the paper's published statistics.
+
+Three datasets drive the evaluation (§4.1.2):
+
+* **Mobile** — 370M calls / 10.8M subscribers over one month.  Median
+  contact degree 12 (Fig. 4, H=1), implying a median Drac bandwidth of
+  96 KB/s; maximum 12 MB/s ⇒ max degree 1,500 (Fig. 5).
+* **Twitter** — 54M users; median degree 8 (anonymity 8 at H=1, 512 at
+  H=3 = 8³); max bandwidth 39 MB/s ⇒ max degree 4,875.
+* **Facebook** — 1,165-user SOUPS dataset; median degree 343
+  (anonymity 343 at H=1, 40M ≈ 343³ at H=3); max bandwidth 6.2 GB/s ⇒
+  max degree 775,000.
+
+Each :class:`DatasetSpec` records those targets plus a scaled-down
+default simulation size; the generators consume the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Published statistics of one of the paper's datasets."""
+
+    name: str
+    paper_n_users: int
+    median_degree: int
+    max_degree: int
+    #: Default number of users when synthesizing a scaled-down version.
+    default_sim_users: int
+
+    @property
+    def median_bandwidth_kbps(self) -> float:
+        """Drac's median client bandwidth in KB/s (degree × 8 KB/s)."""
+        return self.median_degree * 8.0
+
+    @property
+    def max_bandwidth_kbps(self) -> float:
+        """Drac's maximum client bandwidth in KB/s."""
+        return self.max_degree * 8.0
+
+
+MOBILE = DatasetSpec(
+    name="Mobile",
+    paper_n_users=10_800_000,
+    median_degree=12,
+    max_degree=1_500,
+    default_sim_users=20_000,
+)
+
+TWITTER = DatasetSpec(
+    name="Twitter",
+    paper_n_users=54_000_000,
+    median_degree=8,
+    max_degree=4_875,
+    default_sim_users=20_000,
+)
+
+FACEBOOK = DatasetSpec(
+    name="Facebook",
+    paper_n_users=1_165,
+    median_degree=343,
+    max_degree=775_000,
+    default_sim_users=1_165,
+)
+
+DATASETS = {spec.name: spec for spec in (MOBILE, TWITTER, FACEBOOK)}
+
+#: Number of calls in the paper's mobile trace.
+MOBILE_TRACE_CALLS = 370_000_000
+#: Trace length in days.
+MOBILE_TRACE_DAYS = 31
+#: Average calls per subscriber per day implied by the trace.
+MOBILE_CALLS_PER_USER_DAY = (MOBILE_TRACE_CALLS / MOBILE.paper_n_users
+                             / MOBILE_TRACE_DAYS)
+#: Peak fraction of users simultaneously on a call (§4.1.6).
+MOBILE_PEAK_DUTY_CYCLE = 0.016

@@ -1,0 +1,159 @@
+"""Heavy-tailed social graph models for the Drac comparison.
+
+Drac's chaffing cost and anonymity both derive from the social graph:
+each user keeps one chaffed connection per contact, and the anonymity
+set at H hops is the H-hop neighbourhood (§4.1.1, §4.1.5).  The paper
+uses Twitter and Facebook datasets; we synthesize degree sequences from
+a discrete truncated power law calibrated so that the *median* and
+*maximum* degrees match the published numbers (DESIGN.md E2/E3), and
+optionally materialize a graph for exact H-hop computations on small
+instances.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+
+def _zipf_weights(max_degree: int, alpha: float) -> np.ndarray:
+    degrees = np.arange(1, max_degree + 1, dtype=np.float64)
+    return degrees ** (-alpha)
+
+
+def calibrate_alpha(median_degree: int, max_degree: int,
+                    tolerance: float = 0.25) -> float:
+    """Find the power-law exponent whose truncated Zipf distribution on
+    [1, max_degree] has the requested median degree (bisection)."""
+    if median_degree < 1 or median_degree > max_degree:
+        raise ValueError("median degree must lie in [1, max_degree]")
+
+    def median_for(alpha: float) -> float:
+        w = _zipf_weights(max_degree, alpha)
+        cdf = np.cumsum(w) / np.sum(w)
+        return float(np.searchsorted(cdf, 0.5) + 1)
+
+    lo, hi = 0.01, 6.0
+    # median_for is decreasing in alpha.
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        m = median_for(mid)
+        if abs(m - median_degree) <= tolerance:
+            return mid
+        if m > median_degree:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def degree_sequence(n: int, median_degree: int, max_degree: int,
+                    rng: Optional[random.Random] = None,
+                    alpha: Optional[float] = None,
+                    include_max: bool = True) -> np.ndarray:
+    """Draw ``n`` degrees from a truncated power law.
+
+    ``include_max=True`` pins the single largest sample to
+    ``max_degree`` so the published maxima (e.g. Facebook's 6.2 GB/s
+    user) appear at every scale.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = rng or random.Random(0)
+    if alpha is None:
+        alpha = calibrate_alpha(median_degree, max_degree)
+    weights = _zipf_weights(max_degree, alpha)
+    cdf = np.cumsum(weights) / np.sum(weights)
+    draws = np.array([rng.random() for _ in range(n)])
+    degrees = np.searchsorted(cdf, draws) + 1
+    if include_max and n > 1:
+        degrees[int(np.argmax(degrees))] = max_degree
+    return degrees.astype(np.int64)
+
+
+class SocialGraph:
+    """An undirected social graph with H-hop neighbourhood queries.
+
+    For the big datasets the paper only ever needs degree statistics
+    (H=1 empirical, H≥2 estimated as ``median_degree**H``, §4.1.5);
+    exact neighbourhoods via BFS are practical for the small graphs used
+    in tests and examples.
+    """
+
+    def __init__(self, adjacency: Dict[int, Set[int]]):
+        self.adjacency = adjacency
+
+    @classmethod
+    def configuration_model(cls, degrees: Sequence[int],
+                            rng: Optional[random.Random] = None
+                            ) -> "SocialGraph":
+        """Build a simple graph approximating the degree sequence by
+        random stub matching (self-loops and multi-edges discarded)."""
+        rng = rng or random.Random(0)
+        stubs: List[int] = []
+        for node, degree in enumerate(degrees):
+            stubs.extend([node] * int(degree))
+        rng.shuffle(stubs)
+        adjacency: Dict[int, Set[int]] = {i: set()
+                                          for i in range(len(degrees))}
+        for i in range(0, len(stubs) - 1, 2):
+            a, b = stubs[i], stubs[i + 1]
+            if a != b:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        return cls(adjacency)
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Sequence) -> "SocialGraph":
+        adjacency: Dict[int, Set[int]] = {i: set() for i in range(n)}
+        for a, b in edges:
+            if a == b:
+                raise ValueError("self-loops are not allowed")
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        return cls(adjacency)
+
+    def __len__(self) -> int:
+        return len(self.adjacency)
+
+    def degree(self, node: int) -> int:
+        return len(self.adjacency[node])
+
+    def degrees(self) -> np.ndarray:
+        return np.array([len(self.adjacency[n])
+                         for n in sorted(self.adjacency)])
+
+    def neighbourhood(self, node: int, hops: int) -> Set[int]:
+        """All nodes reachable within ``hops`` hops, excluding ``node``
+        itself — Drac's anonymity set for that user."""
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        frontier = {node}
+        seen = {node}
+        for _ in range(hops):
+            next_frontier: Set[int] = set()
+            for u in frontier:
+                next_frontier |= self.adjacency[u] - seen
+            seen |= next_frontier
+            frontier = next_frontier
+            if not frontier:
+                break
+        seen.discard(node)
+        return seen
+
+    def anonymity_set_sizes(self, hops: int,
+                            nodes: Optional[Sequence[int]] = None
+                            ) -> np.ndarray:
+        nodes = list(self.adjacency) if nodes is None else list(nodes)
+        return np.array([len(self.neighbourhood(n, hops)) for n in nodes])
+
+
+def estimated_anonymity_set(median_degree: int, hops: int) -> float:
+    """The paper's estimate for H ≥ 2: anonymity grows as
+    ``median_degree ** H`` (§4.1.5: "estimate the sizes for H = 2, 3
+    using the median node degrees")."""
+    if hops < 1:
+        raise ValueError("hops must be at least 1")
+    return float(median_degree) ** hops

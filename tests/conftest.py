@@ -1,0 +1,22 @@
+"""Shared fixtures: a small multi-zone Herd deployment."""
+
+import pytest
+
+from repro.simulation.testbed import HerdTestbed, build_testbed
+
+__all__ = ["HerdTestbed", "build_testbed"]
+
+
+@pytest.fixture
+def testbed():
+    return build_testbed()
+
+
+@pytest.fixture
+def call_pair(testbed):
+    """A caller in zone-EU and a callee in zone-NA, ready to talk."""
+    caller = testbed.add_client("alice", "zone-EU")
+    callee = testbed.add_client("bob", "zone-NA")
+    testbed.ready_for_calls("alice")
+    testbed.ready_for_calls("bob")
+    return testbed, caller, callee

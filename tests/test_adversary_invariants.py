@@ -1,0 +1,152 @@
+"""Direct tests for the adversary helpers and the invariant checks."""
+
+import pytest
+
+from repro.attacks.adversary import ActiveAdversary, \
+    GlobalPassiveAdversary
+from repro.core.invariants import (
+    byte_agreement,
+    ciphertext_uncorrelated,
+    circuit_zone_profile,
+    is_uniform_choice,
+    looks_uniform,
+    series_identical,
+    shannon_entropy,
+)
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import Link
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+
+
+def _wired_pair(loop, name_a="a", name_b="b", **kwargs):
+    a, b = Node(name_a, loop), Node(name_b, loop)
+    b.on_packet(lambda p: None)
+    a.on_packet(lambda p: None)
+    return a, b, Link(loop, a, b, **kwargs)
+
+
+class TestGlobalPassiveAdversary:
+    def test_taps_collect_observations(self):
+        loop = EventLoop()
+        a, b, link = _wired_pair(loop)
+        adversary = GlobalPassiveAdversary([link])
+        a.send("b", Packet(b"x" * 50, "a", "b"))
+        loop.run()
+        assert len(adversary.observer.observations) == 1
+
+    def test_link_series_keys(self):
+        loop = EventLoop()
+        a, b, link = _wired_pair(loop)
+        adversary = GlobalPassiveAdversary([link])
+        a.send("b", Packet(b"x", "a", "b"))
+        b.send("a", Packet(b"y", "b", "a"))
+        loop.run()
+        series = adversary.link_series(1.0)
+        assert set(series) == {"a->b", "b->a"}
+
+    def test_correlation_attack_entry_points(self):
+        loop = EventLoop()
+        c_in, m1, l1 = _wired_pair(loop, "client-x", "mix")
+        m2, c_out, l2 = _wired_pair(loop, "mix2", "exit-x")
+        c_in2, m3, l3 = _wired_pair(loop, "client-y", "mix3")
+        m4, c_out2, l4 = _wired_pair(loop, "mix4", "exit-y")
+        adversary = GlobalPassiveAdversary([l1, l2, l3, l4])
+        # Two on/off flows with disjoint talk windows; egress mirrors
+        # ingress, so correlation must match x→x and y→y.
+        for i in range(20):
+            loop.schedule(float(i), lambda: c_in.send(
+                "mix", Packet(b"x" * 100, "client-x", "mix")))
+            loop.schedule(float(i), lambda: m2.send(
+                "exit-x", Packet(b"x" * 100, "mix2", "exit-x")))
+            loop.schedule(20.0 + i, lambda: c_in2.send(
+                "mix3", Packet(b"x" * 100, "client-y", "mix3")))
+            loop.schedule(20.0 + i, lambda: m4.send(
+                "exit-y", Packet(b"x" * 100, "mix4", "exit-y")))
+        loop.run()
+        series = adversary.link_series(1.0)
+        ingress = {k: v for k, v in series.items()
+                   if k.startswith("client-")}
+        egress = {k: v for k, v in series.items() if "exit" in k}
+        from repro.attacks.correlation import correlate_flows
+        matches = correlate_flows(ingress, egress)
+        assert matches["client-x->mix"] == "mix2->exit-x"
+        assert matches["client-y->mix3"] == "mix4->exit-y"
+
+
+class TestActiveAdversary:
+    def test_inject_loss(self):
+        loop = EventLoop(seed=1)
+        a, b, link = _wired_pair(loop)
+        adversary = ActiveAdversary([link])
+        adversary.compromise(link)
+        adversary.inject_loss(0.9)
+        for _ in range(50):
+            a.send("b", Packet(b"x", "a", "b"))
+        loop.run()
+        assert b.packets_received < 25
+
+    def test_inject_delay(self):
+        loop = EventLoop()
+        a, b, link = _wired_pair(loop, one_way_delay=0.01)
+        adversary = ActiveAdversary()
+        adversary.compromise(link)
+        adversary.inject_delay(0.5)
+        arrivals = []
+        b.on_packet(lambda p: arrivals.append(loop.now))
+        a.send("b", Packet(b"x", "a", "b"))
+        loop.run()
+        assert arrivals[0] == pytest.approx(0.51)
+
+    def test_validation(self):
+        adversary = ActiveAdversary()
+        with pytest.raises(ValueError):
+            adversary.inject_loss(1.0)
+        with pytest.raises(ValueError):
+            adversary.inject_delay(-0.1)
+
+
+class TestInvariantHelpers:
+    def test_byte_agreement(self):
+        assert byte_agreement(b"abc", b"abc") == 1.0
+        assert byte_agreement(b"abc", b"xyz") == 0.0
+        assert byte_agreement(b"", b"") == 0.0
+        with pytest.raises(ValueError):
+            byte_agreement(b"a", b"ab")
+
+    def test_ciphertext_uncorrelated(self):
+        import os
+        blobs = [os.urandom(256) for _ in range(3)]
+        assert ciphertext_uncorrelated(blobs)
+        assert not ciphertext_uncorrelated([blobs[0], blobs[0]])
+
+    def test_shannon_entropy(self):
+        assert shannon_entropy(b"") == 0.0
+        assert shannon_entropy(b"\x00" * 100) == 0.0
+        assert shannon_entropy(bytes(range(256))) == pytest.approx(8.0)
+
+    def test_looks_uniform(self):
+        import os
+        assert looks_uniform(os.urandom(1024))
+        assert not looks_uniform(b"\x00" * 1024)
+
+    def test_is_uniform_choice(self):
+        assert is_uniform_choice({"a": 100, "b": 98, "c": 102}, 3)
+        assert not is_uniform_choice({"a": 300, "b": 10, "c": 10}, 3)
+        # A never-chosen option with plenty of samples is suspicious.
+        assert not is_uniform_choice({"a": 200, "b": 200}, 3)
+        with pytest.raises(ValueError):
+            is_uniform_choice({}, 3)
+
+    def test_series_identical(self):
+        assert series_identical({0: 10, 1: 10}, {0: 10, 1: 10})
+        assert not series_identical({0: 10}, {0: 20})
+        assert series_identical({0: 100}, {0: 105}, tolerance=0.1)
+        assert not series_identical({0: 100}, {1: 100})
+
+    def test_circuit_zone_profile(self):
+        class FakeCircuit:
+            path = ["m1", "m2"]
+        zones = {"m1": "zone-EU", "m2": "zone-EU"}
+        assert circuit_zone_profile(FakeCircuit(), zones) \
+            == ["zone-EU", "zone-EU"]

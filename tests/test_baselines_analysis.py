@@ -1,0 +1,257 @@
+"""Tests for the Tor/Drac baselines and the analysis modules."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.anonymity import (
+    anonymity_figure,
+    drac_rows,
+    herd_anonymity,
+    tor_anonymity,
+)
+from repro.analysis.bandwidth import (
+    channels_for,
+    herd_client_bandwidth_kbps,
+    mix_client_side_rate_units,
+    offload_factor,
+    sp_savings_fraction,
+)
+from repro.analysis.cost import CostModel, EC2Pricing
+from repro.analysis.cpu import CpuModel
+from repro.baselines.drac import DracModel
+from repro.baselines.tor import TorModel
+from repro.workload.datasets import FACEBOOK, MOBILE, TWITTER
+from repro.workload.generator import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    cfg = SyntheticTraceConfig(n_users=1000, days=2, seed=5,
+                               max_degree=80)
+    return generate_trace(cfg)
+
+
+class TestTorModel:
+    def test_observable_trace_is_call_trace(self, small_trace):
+        tor = TorModel()
+        assert tor.observable_trace(small_trace) is small_trace
+
+    def test_intersection_attack_succeeds(self, small_trace):
+        result = TorModel().run_intersection_attack(small_trace)
+        assert result.traced_fraction > 0.9
+
+    def test_rtt_in_published_range(self):
+        tor = TorModel(random.Random(0))
+        for _ in range(100):
+            assert 2.0 <= tor.circuit_rtt() <= 4.0
+
+    def test_one_way_delay_prohibitive_for_voip(self):
+        tor = TorModel(random.Random(0))
+        # > 1000 ms one-way: far beyond any acceptable MOS band.
+        assert tor.one_way_delay_ms() > 1000.0
+
+
+class TestDracModel:
+    def test_bandwidth_median_matches_fig5(self):
+        for spec, expected in ((MOBILE, 96.0), (TWITTER, 64.0),
+                               (FACEBOOK, 2744.0)):
+            model = DracModel(spec, rng=random.Random(1))
+            median = model.bandwidth_percentile_kbps(50)
+            assert median == pytest.approx(expected, rel=0.35), spec.name
+
+    def test_bandwidth_max_matches_fig5(self):
+        model = DracModel(MOBILE, rng=random.Random(1))
+        assert model.client_bandwidths_kbps().max() == \
+            pytest.approx(12_000.0)
+
+    def test_anonymity_h1_is_degree(self):
+        model = DracModel(MOBILE, rng=random.Random(1))
+        a = model.anonymity(1)
+        assert a.median == pytest.approx(12, abs=3)
+        assert a.p10 <= a.median <= a.p90
+
+    def test_anonymity_h3_estimate(self):
+        model = DracModel(MOBILE, rng=random.Random(1))
+        a3 = model.anonymity(3)
+        a1 = model.anonymity(1)
+        assert a3.median == pytest.approx(a1.median ** 3, rel=0.5)
+
+    def test_anonymity_h3_extrapolates_beyond_sample(self):
+        # Fig. 4 reports 40M for the 1,165-user Facebook dataset at
+        # H=3: the estimate extrapolates to the real network and is
+        # deliberately NOT capped at the sample size.
+        model = DracModel(FACEBOOK, n_users=1165, rng=random.Random(1))
+        a = model.anonymity(3)
+        assert a.median > FACEBOOK.paper_n_users
+
+    def test_h0_rejected(self):
+        model = DracModel(MOBILE, rng=random.Random(1))
+        with pytest.raises(ValueError):
+            model.anonymity(0)
+
+    def test_latency_grows_with_hops(self):
+        model = DracModel(MOBILE, rng=random.Random(1))
+        delays = [model.one_way_delay_ms(h) for h in range(4)]
+        assert delays == sorted(delays)
+        assert delays[0] == pytest.approx(85.0)  # 2×20 + 45
+
+    def test_latency_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            DracModel(MOBILE).one_way_delay_ms(-1)
+
+    def test_chaffing_connections_equal_degree(self):
+        model = DracModel(MOBILE, n_users=100, rng=random.Random(2))
+        assert model.chaffing_connections(0) == model.degrees[0]
+
+
+class TestAnonymityFigure:
+    def test_herd_row_is_zone_population(self):
+        row = herd_anonymity(10_800_000)
+        assert row.median == row.p10 == row.p90 == 10_800_000
+
+    def test_herd_validates(self):
+        with pytest.raises(ValueError):
+            herd_anonymity(0)
+
+    def test_tor_row_small_sets(self, small_trace):
+        row = tor_anonymity(small_trace)
+        # Nearly all calls traced → median anonymity set of 2.
+        assert row.median == 2.0
+
+    def test_full_figure_ordering(self, small_trace):
+        fig = anonymity_figure(small_trace, [MOBILE, TWITTER, FACEBOOK],
+                               zone_population=10_800_000)
+        herd = fig.row("Herd", "zone")
+        tor = fig.row("Tor", "intersection")
+        drac_h1 = fig.row("Drac", "Mobile,H=1")
+        # The paper's headline ordering: Herd ⋙ Drac(H=1) > Tor.
+        assert herd.median > drac_h1.median > tor.median
+
+    def test_unknown_row_raises(self, small_trace):
+        fig = anonymity_figure(small_trace, [MOBILE])
+        with pytest.raises(KeyError):
+            fig.row("Drac", "nope")
+
+    def test_drac_rows_cover_requested_hops(self):
+        rows = drac_rows([MOBILE], hops=(1, 2))
+        assert [r.label for r in rows] == ["Mobile,H=1", "Mobile,H=2"]
+
+
+class TestBandwidthAnalysis:
+    def test_herd_client_bandwidth_is_24kbps(self):
+        assert herd_client_bandwidth_kbps(3) == 24.0
+        assert herd_client_bandwidth_kbps(1) == 8.0
+
+    def test_herd_bandwidth_validates_k(self):
+        with pytest.raises(ValueError):
+            herd_client_bandwidth_kbps(0)
+
+    def test_channels_for(self):
+        assert channels_for(100, 10) == 10
+        assert channels_for(101, 10) == 11
+        with pytest.raises(ValueError):
+            channels_for(100, 0)
+
+    def test_savings_match_paper_range(self):
+        # §4.1.6: 80% at 5 clients/channel, 98% at 50.
+        assert sp_savings_fraction(10_000, 5) == pytest.approx(0.80)
+        assert sp_savings_fraction(10_000, 50) == pytest.approx(0.98)
+
+    def test_offload_factor(self):
+        assert offload_factor(1000, 10) == 100.0
+        with pytest.raises(ValueError):
+            offload_factor(10, 0)
+        with pytest.raises(ValueError):
+            offload_factor(5, 10)
+
+    def test_mix_rate_units(self):
+        assert mix_client_side_rate_units(100) == 100.0
+        assert mix_client_side_rate_units(100, 10) == 10.0
+        with pytest.raises(ValueError):
+            mix_client_side_rate_units(-1)
+
+
+class TestCostModel:
+    def test_with_sp_range_near_paper(self):
+        low, high = CostModel().per_user_range(1_000_000, use_sps=True)
+        # Paper: $0.10–$1.14.  Same band within a small factor.
+        assert 0.03 < low < 0.3
+        assert 0.3 < high < 2.0
+
+    def test_without_sp_costs_orders_more(self):
+        model = CostModel()
+        sp_low, sp_high = model.per_user_range(1_000_000, use_sps=True)
+        no_low, no_high = model.per_user_range(1_000_000, use_sps=False)
+        assert no_low > 10 * sp_high  # "two orders of magnitude more"
+        assert no_low > 3.0  # paper: $10–100
+
+    def test_egress_dominates_with_sps(self):
+        breakdown = CostModel().monthly_cost(1_000_000, use_sps=True)
+        assert breakdown.internet_egress > breakdown.inter_region
+        assert breakdown.intra_dc == 0.0
+
+    def test_cost_increases_with_duty_and_interzone(self):
+        model = CostModel()
+        base = model.monthly_cost(100_000, duty_cycle=0.01,
+                                  interzone_fraction=0.1).total
+        more_duty = model.monthly_cost(100_000, duty_cycle=0.02,
+                                       interzone_fraction=0.1).total
+        more_inter = model.monthly_cost(100_000, duty_cycle=0.01,
+                                        interzone_fraction=1.0).total
+        assert more_duty >= base
+        assert more_inter > base
+
+    def test_validation(self):
+        model = CostModel()
+        with pytest.raises(ValueError):
+            model.monthly_cost(0)
+        with pytest.raises(ValueError):
+            model.monthly_cost(10, duty_cycle=0.0)
+        with pytest.raises(ValueError):
+            model.monthly_cost(10, interzone_fraction=1.5)
+
+    def test_sp_payment_overhead(self):
+        assert CostModel.sp_payment_overhead(1.0) == pytest.approx(0.14)
+
+    def test_per_user_property(self):
+        breakdown = CostModel().monthly_cost(1000)
+        assert breakdown.per_user == pytest.approx(
+            breakdown.total / 1000)
+
+
+class TestCpuModel:
+    def test_fig6_endpoints(self):
+        model = CpuModel()
+        # "59% for 100 clients" without SP; "only 3%" with.
+        assert model.mix_without_sp(100) == pytest.approx(0.59, abs=0.05)
+        assert model.mix_with_sp(100) == pytest.approx(0.03, abs=0.02)
+
+    def test_fig6_marginals(self):
+        model = CpuModel()
+        # ".01% and .6% with and without the SP"
+        assert model.marginal_per_client(False) == pytest.approx(
+            0.006, rel=0.15)
+        assert model.marginal_per_client(True) == pytest.approx(
+            0.0001, rel=0.15)
+
+    def test_sp_cpu_grows_with_clients(self):
+        model = CpuModel()
+        assert model.sp(100) > model.sp(10) > model.sp(0)
+
+    def test_utilization_clamped(self):
+        model = CpuModel()
+        assert model.mix_without_sp(100_000) == 1.0
+
+    def test_memory_matches_paper(self):
+        assert CpuModel().mix_memory_mb(100) == pytest.approx(3.4)
+
+    def test_validation(self):
+        model = CpuModel()
+        with pytest.raises(ValueError):
+            model.mix_without_sp(-1)
+        with pytest.raises(ValueError):
+            model.mix_with_sp(-1)
+        with pytest.raises(ValueError):
+            model.sp(-1)

@@ -1,0 +1,257 @@
+"""Integration tests: call manager, signaling, and the live zone."""
+
+import random
+
+import pytest
+
+from repro.core.callmanager import CallState, MixCallManager
+from repro.core.invariants import sp_state_is_activity_free
+from repro.simulation.live import LiveZone
+
+
+def _zone(**kwargs):
+    defaults = dict(n_clients=12, n_channels=4, k=2, seed=5)
+    defaults.update(kwargs)
+    return LiveZone(**defaults)
+
+
+class TestCallManagerBasics:
+    def test_requires_channels(self):
+        from repro.simulation.testbed import build_testbed
+        bed = build_testbed([("zone-EU", "dc-eu", 1)])
+        with pytest.raises(ValueError):
+            MixCallManager(bed.mixes["zone-EU/mix-0"])
+
+    def test_signal_allocates_channel(self):
+        zone = _zone()
+        live = zone.clients["client-0"]
+        call = zone.manager.handle_signal(live.numeric_id)
+        assert call is not None
+        assert call.channel_id in \
+            dict.fromkeys(a.channel_id for a in live.client.attachments)
+        assert zone.mix.channels[call.channel_id].is_busy
+
+    def test_duplicate_signal_idempotent(self):
+        zone = _zone()
+        live = zone.clients["client-0"]
+        first = zone.manager.handle_signal(live.numeric_id)
+        second = zone.manager.handle_signal(live.numeric_id)
+        assert first is second
+
+    def test_incoming_blocked_when_busy(self):
+        zone = _zone()
+        live = zone.clients["client-0"]
+        zone.manager.handle_signal(live.numeric_id)
+        assert zone.manager.place_incoming(live.numeric_id) is None
+        assert zone.manager.calls_blocked == 1
+
+    def test_end_call_frees_channel(self):
+        zone = _zone()
+        live = zone.clients["client-0"]
+        call = zone.manager.handle_signal(live.numeric_id)
+        zone.manager.end_call(live.numeric_id)
+        assert not zone.mix.channels[call.channel_id].is_busy
+        assert live.numeric_id not in zone.manager.calls
+
+    def test_end_unknown_call_noop(self):
+        zone = _zone()
+        zone.manager.end_call(999)
+
+    def test_enqueue_voice_requires_call(self):
+        zone = _zone()
+        with pytest.raises(KeyError):
+            zone.manager.enqueue_voice(0, b"cell")
+
+    def test_downstream_round_covers_all_channels(self):
+        zone = _zone(n_channels=4)
+        packets = zone.manager.downstream_round(0)
+        assert set(packets) == set(zone.mix.channels)
+
+    def test_blocking_when_all_client_channels_busy(self):
+        # 2 channels, k=2: two concurrent calls exhaust everything.
+        zone = _zone(n_clients=6, n_channels=2, k=2)
+        a = zone.clients["client-0"]
+        b = zone.clients["client-1"]
+        c = zone.clients["client-2"]
+        assert zone.manager.handle_signal(a.numeric_id) is not None
+        assert zone.manager.handle_signal(b.numeric_id) is not None
+        assert zone.manager.handle_signal(c.numeric_id) is None
+
+
+class TestLiveSignalingFlow:
+    def test_outgoing_call_granted_via_rounds(self):
+        zone = _zone()
+        zone.clients["client-0"].agent.start_outgoing()
+        assert zone.state_of("client-0") is CallState.SIGNALING
+        zone.run(2)  # round 1: signal travels up; grant comes down
+        assert zone.state_of("client-0") is CallState.IN_CALL
+        assert not zone.clients["client-0"].client.signal_pending
+
+    def test_full_call_setup_and_ring(self):
+        zone = _zone()
+        zone.start_call("client-0", "client-1")
+        zone.run(4)
+        assert zone.state_of("client-0") is CallState.IN_CALL
+        assert zone.state_of("client-1") is CallState.IN_CALL
+
+    def test_voice_flows_both_ways(self):
+        zone = _zone()
+        zone.start_call("client-0", "client-1")
+        zone.run(4)
+        for i in range(10):
+            zone.say("client-0", b"ALICE%03d" % i)
+            zone.say("client-1", b"BOB%05d" % i)
+        zone.run(15)
+        got_b = zone.received_by("client-1")
+        got_a = zone.received_by("client-0")
+        assert [c[:8] for c in got_b] == \
+            [b"ALICE%03d" % i for i in range(10)]
+        assert [c[:8] for c in got_a] == \
+            [b"BOB%05d" % i for i in range(10)]
+
+    def test_other_clients_stay_idle_and_learn_nothing(self):
+        zone = _zone()
+        zone.start_call("client-0", "client-1")
+        zone.run(6)
+        for cid, live in zone.clients.items():
+            if cid in ("client-0", "client-1"):
+                continue
+            assert live.agent.state is CallState.IDLE
+            assert live.agent.received_cells == []
+
+    def test_hang_up_frees_both_channels(self):
+        zone = _zone()
+        zone.start_call("client-0", "client-1")
+        zone.run(4)
+        busy_before = sum(1 for ch in zone.mix.channels.values()
+                          if ch.is_busy)
+        assert busy_before == 2
+        zone.hang_up("client-0")
+        assert all(not ch.is_busy for ch in zone.mix.channels.values())
+        assert zone.state_of("client-0") is CallState.IDLE
+        assert zone.state_of("client-1") is CallState.IDLE
+
+    def test_sequential_calls_reuse_channels(self):
+        zone = _zone(n_clients=8, n_channels=2, k=2)
+        for trial in range(3):
+            zone.start_call("client-0", "client-1")
+            zone.run(4)
+            assert zone.state_of("client-0") is CallState.IN_CALL
+            zone.hang_up("client-0")
+            zone.run(1)
+
+    def test_concurrent_calls_on_distinct_channels(self):
+        zone = _zone(n_clients=12, n_channels=4, k=3)
+        zone.start_call("client-0", "client-1")
+        zone.start_call("client-2", "client-3")
+        zone.run(5)
+        channels = {zone.clients[c].agent.active_channel
+                    for c in ("client-0", "client-1", "client-2",
+                              "client-3")}
+        assert None not in channels
+        assert len(channels) == 4  # one channel per call leg
+
+    def test_cannot_start_while_in_call(self):
+        zone = _zone()
+        zone.start_call("client-0", "client-1")
+        zone.run(4)
+        with pytest.raises(RuntimeError):
+            zone.clients["client-0"].agent.start_outgoing()
+
+
+class TestLiveZoneInvariants:
+    def test_sp_activity_free_during_calls(self):
+        zone = _zone()
+        zone.start_call("client-0", "client-1")
+        zone.run(4)
+        assert sp_state_is_activity_free(zone.sp)
+
+    def test_sp_round_volume_constant_regardless_of_calls(self):
+        """The SP forwards identical byte volumes per round whether the
+        zone is idle or mid-call — I8 at the data plane."""
+        def volumes(make_call: bool):
+            zone = _zone(seed=9)
+            if make_call:
+                zone.start_call("client-0", "client-1")
+            before = zone.sp.rounds_forwarded
+            zone.run(10)
+            for _ in range(5):
+                zone.say("client-0", b"X" * 100) if make_call else None
+            zone.run(10)
+            return zone.sp.rounds_forwarded - before
+
+        assert volumes(False) == volumes(True)
+
+    def test_client_emits_every_round_on_every_channel(self):
+        zone = _zone(n_clients=6, n_channels=3, k=2)
+        zone.run(10)
+        for live in zone.clients.values():
+            for attachment in live.client.attachments:
+                assert attachment.sequence == 10
+
+    def test_rounds_deterministic_given_seed(self):
+        def run():
+            zone = _zone(seed=21)
+            zone.start_call("client-0", "client-1")
+            zone.run(4)
+            zone.say("client-0", b"hello voice")
+            zone.run(3)
+            return zone.received_by("client-1")
+        assert run() == run()
+
+
+class TestLiveRateOrchestration:
+    def test_epoch_scales_with_call_volume(self):
+        zone = _zone(n_clients=12, n_channels=4, k=3)
+        idle_rates = zone.run_rate_epoch(0)
+        assert idle_rates["sp_links"] == 1  # floor: chaff never stops
+        zone.start_call("client-0", "client-1")
+        zone.start_call("client-2", "client-3")
+        zone.run(5)
+        busy_rates = zone.run_rate_epoch(1)
+        # 4 active call legs at rate 1 → heavy over-utilization → the
+        # directory scales the zone's link groups up simultaneously.
+        assert busy_rates["sp_links"] >= 4
+        assert busy_rates["sp_links"] == busy_rates["intra_links"]
+
+    def test_rates_scale_back_down_after_hangup(self):
+        zone = _zone(n_clients=12, n_channels=4, k=3)
+        zone.start_call("client-0", "client-1")
+        zone.run(5)
+        up = zone.run_rate_epoch(0)
+        zone.hang_up("client-0")
+        zone.run(1)
+        down = zone.run_rate_epoch(1)
+        assert down["sp_links"] <= up["sp_links"]
+        assert down["sp_links"] >= 1
+
+
+class TestMultiSPZone:
+    def test_channels_partitioned_across_sps(self):
+        zone = _zone(n_clients=12, n_channels=4, k=2, n_sps=2)
+        hosted = [set(sp.channel_clients) for sp in zone.sps]
+        assert hosted[0] == {0, 2}
+        assert hosted[1] == {1, 3}
+
+    def test_calls_work_across_sps(self):
+        zone = _zone(n_clients=12, n_channels=4, k=3, n_sps=4)
+        zone.start_call("client-0", "client-1")
+        zone.run(4)
+        assert zone.state_of("client-0") is CallState.IN_CALL
+        assert zone.state_of("client-1") is CallState.IN_CALL
+        zone.say("client-0", b"multi-sp voice")
+        zone.run(3)
+        received = zone.received_by("client-1")
+        assert received and received[0][:14] == b"multi-sp voice"
+
+    def test_every_sp_carries_rounds(self):
+        zone = _zone(n_clients=8, n_channels=4, k=2, n_sps=2)
+        zone.run(5)
+        for sp in zone.sps:
+            assert sp.rounds_forwarded == 5 * len(sp.channel_clients)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _zone(n_sps=0)
+        with pytest.raises(ValueError):
+            _zone(n_channels=2, n_sps=3)

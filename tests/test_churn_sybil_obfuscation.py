@@ -1,0 +1,289 @@
+"""Tests: churn/failover (§3.5), Sybil analysis (§3.7), and the
+bridge/obfuscation extension (§3.1 future work)."""
+
+import random
+
+import pytest
+
+from repro.analysis.sybil import (
+    channel_capture_probability,
+    effective_anonymity,
+    expected_captured_channels,
+    sybil_attack_cost,
+    sybils_needed_for_capture,
+)
+from repro.attacks.longterm import long_term_intersection
+from repro.core.obfuscation import (
+    GAME_PROFILE,
+    QUIC_PROFILE,
+    BridgeDirectory,
+    CoverProfile,
+    ObfuscatedChannel,
+)
+from repro.simulation.churn import (
+    AvailabilityModel,
+    exposure_rounds,
+    fail_mix,
+    fail_superpeer,
+    rejoin_clients,
+)
+
+from conftest import build_testbed
+
+
+class TestFailover:
+    def test_fail_mix_orphans_its_clients(self):
+        bed = build_testbed()
+        clients = [bed.add_client(f"c{i}", "zone-EU") for i in range(6)]
+        target = clients[0].mix_id
+        orphans = fail_mix(bed, target)
+        assert orphans
+        for cid in orphans:
+            assert not bed.clients[cid].joined
+        assert target not in bed.mixes
+        assert target not in bed.zones["zone-EU"].mix_ids
+
+    def test_rejoin_lands_on_surviving_mix(self):
+        bed = build_testbed()
+        for i in range(6):
+            bed.add_client(f"c{i}", "zone-EU")
+        target = bed.clients["c0"].mix_id
+        orphans = fail_mix(bed, target)
+        results = rejoin_clients(bed, orphans, failed_mix=target)
+        for cid, result in results.items():
+            client = bed.clients[cid]
+            assert client.joined
+            assert client.mix_id != target
+            assert client.mix_id in bed.mixes
+            assert result.mix_id == client.mix_id
+
+    def test_rejoined_client_keeps_certificate(self):
+        bed = build_testbed()
+        bed.add_client("c0", "zone-EU")
+        client = bed.clients["c0"]
+        cert_before = client.certificate
+        target = client.mix_id
+        orphans = fail_mix(bed, target)
+        if "c0" in orphans:
+            rejoin_clients(bed, ["c0"], failed_mix=target)
+        assert client.certificate == cert_before
+
+    def test_rejoined_client_can_call(self):
+        bed = build_testbed()
+        bed.add_client("alice", "zone-EU")
+        bed.add_client("bob", "zone-NA")
+        alice = bed.clients["alice"]
+        failed = alice.mix_id
+        orphans = fail_mix(bed, failed)
+        rejoin_clients(bed, orphans, failed_mix=failed)
+        bed.ready_for_calls("alice")
+        bed.ready_for_calls("bob")
+        session = bed.call("alice", "bob")
+        assert session.send_voice("caller_to_callee", b"x" * 80) \
+            == b"x" * 80
+
+    def test_fail_unknown_mix_raises(self):
+        bed = build_testbed()
+        with pytest.raises(KeyError):
+            fail_mix(bed, "nope")
+
+    def test_fail_superpeer(self):
+        bed = build_testbed(zone_specs=[("zone-EU", "dc-eu", 1)])
+        mix = bed.mixes["zone-EU/mix-0"]
+        mix.configure_channels(2)
+        bed.add_superpeer("sp-0", mix.mix_id, channels=[0, 1])
+        c = bed.add_client("c0", "zone-EU", k=2, via_superpeers=True)
+        affected = fail_superpeer(bed, "sp-0")
+        assert affected == ["c0"]
+        assert not c.joined
+        with pytest.raises(KeyError):
+            fail_superpeer(bed, "sp-0")
+
+
+class TestAvailabilityModel:
+    def test_matches_skype_statistic(self):
+        # §3.1 cites "half of Skype users are available more than 80%".
+        model = AvailabilityModel(n_users=2000, seed=1)
+        assert model.fraction_above(0.80) == pytest.approx(0.5, abs=0.1)
+
+    def test_online_periods_within_horizon(self):
+        model = AvailabilityModel(n_users=5, seed=2)
+        periods = model.online_periods(0, horizon_s=86400.0)
+        for a, b in periods:
+            assert 0.0 <= a <= b <= 86400.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AvailabilityModel(n_users=0)
+        with pytest.raises(ValueError):
+            AvailabilityModel(n_users=5, median_availability=1.5)
+
+    def test_offline_gaps_enable_intersection_without_herd(self):
+        """Without always-on connections, offline users drop out of the
+        candidate sets and the intersection shrinks; Herd removes this
+        signal by keeping everyone connected."""
+        model = AvailabilityModel(n_users=300, seed=3,
+                                  median_availability=0.6)
+        rng = random.Random(4)
+        events = [rng.uniform(0, 30 * 86400.0) for _ in range(40)]
+        rounds = exposure_rounds(model, target=0, event_times=events,
+                                 horizon_s=30 * 86400.0)
+        exposed = long_term_intersection(rounds)
+        assert exposed.final_anonymity < 300 * 0.5
+        herd_rounds = [set(range(300)) for _ in events]
+        protected = long_term_intersection(herd_rounds)
+        assert protected.final_anonymity == 300
+
+
+class TestSybilAnalysis:
+    def test_effective_anonymity(self):
+        assert effective_anonymity(1000, 400) == 600
+        with pytest.raises(ValueError):
+            effective_anonymity(100, 100)
+        with pytest.raises(ValueError):
+            effective_anonymity(100, -1)
+
+    def test_capture_probability_bounds(self):
+        assert channel_capture_probability(0.0, 10) == 0.0
+        assert channel_capture_probability(1.0, 10) == 1.0
+
+    def test_capture_harder_with_bigger_channels(self):
+        p_small = channel_capture_probability(0.5, 5)
+        p_big = channel_capture_probability(0.5, 50)
+        assert p_big < p_small
+
+    def test_capture_probability_increases_with_sybils(self):
+        values = [channel_capture_probability(f, 10)
+                  for f in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert values == sorted(values)
+
+    def test_expected_captured_channels(self):
+        expected = expected_captured_channels(0.5, 100, 10)
+        assert expected == pytest.approx(
+            100 * channel_capture_probability(0.5, 10))
+
+    def test_targeting_one_channel_needs_zone_scale_sybils(self):
+        # §3.7: the mix controls placement, so capturing a specific
+        # channel with even 50% probability requires flooding a large
+        # share of the whole zone.
+        needed = sybils_needed_for_capture(0.5, clients_per_channel=10,
+                                           zone_population=10_000)
+        assert needed is not None
+        assert needed > 0.7 * 10_000
+
+    def test_attack_cost_scales(self):
+        cost = sybil_attack_cost(10_000, signup_fee=5.0,
+                                 monthly_fee=1.0)
+        assert cost.signup_fees == 50_000.0
+        assert cost.first_month_total == 60_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            channel_capture_probability(1.5, 10)
+        with pytest.raises(ValueError):
+            channel_capture_probability(0.5, 0)
+        with pytest.raises(ValueError):
+            sybil_attack_cost(-1)
+        with pytest.raises(ValueError):
+            sybils_needed_for_capture(0.0, 10, 100)
+
+
+class TestBridgeDirectory:
+    def _directory(self):
+        d = BridgeDirectory(max_users_per_bridge=2,
+                            rng=random.Random(1))
+        for i in range(3):
+            d.register_bridge(f"bridge-{i}", f"198.51.100.{i}:443")
+        return d
+
+    def test_token_redemption(self):
+        d = self._directory()
+        token = d.mint_token()
+        bridge = d.redeem(token)
+        assert bridge.bridge_id.startswith("bridge-")
+
+    def test_replay_returns_same_bridge(self):
+        d = self._directory()
+        token = d.mint_token()
+        assert d.redeem(token) == d.redeem(token)
+
+    def test_invalid_token_rejected(self):
+        d = self._directory()
+        with pytest.raises(PermissionError):
+            d.redeem(b"\x00" * 16)
+
+    def test_load_balanced_assignment(self):
+        d = self._directory()
+        seen = [d.redeem(d.mint_token()).bridge_id for _ in range(6)]
+        assert all(seen.count(b) == 2 for b in set(seen))
+
+    def test_capacity_exhaustion(self):
+        d = self._directory()
+        for _ in range(6):
+            d.redeem(d.mint_token())
+        with pytest.raises(RuntimeError):
+            d.redeem(d.mint_token())
+
+    def test_censor_exposure_bounded(self):
+        d = self._directory()
+        assert d.exposure(burned_tokens=100) == 3
+        assert d.exposure(burned_tokens=1) == 1
+
+
+class TestObfuscatedChannel:
+    def _channel(self, profile=GAME_PROFILE):
+        d = BridgeDirectory(rng=random.Random(2))
+        bridge = d.register_bridge("b0", "203.0.113.7:443")
+        return ObfuscatedChannel(bridge, profile)
+
+    def test_roundtrip(self):
+        ch = self._channel()
+        packet = b"\xa5" * 301  # one Herd coded packet
+        assert ch.unwrap(ch.wrap(packet)) == packet
+
+    def test_wire_size_from_profile(self):
+        ch = self._channel()
+        out = ch.wrap(b"\xa5" * 301)
+        assert len(out) - 8 in GAME_PROFILE.sizes
+
+    def test_sizes_vary_across_packets(self):
+        ch = self._channel()
+        sizes = {len(ch.wrap(b"\xa5" * 301)) for _ in range(40)}
+        assert len(sizes) > 1  # morphed, not constant
+
+    def test_no_herd_framing_on_wire(self):
+        ch = self._channel()
+        packet = b"\xa5" * 301
+        assert packet not in ch.wrap(packet)
+
+    def test_packet_too_big_for_profile(self):
+        ch = self._channel(CoverProfile("tiny", (64,)))
+        with pytest.raises(ValueError):
+            ch.wrap(b"\x00" * 301)
+
+    def test_quic_profile_fits_big_packets(self):
+        ch = self._channel(QUIC_PROFILE)
+        assert ch.unwrap(ch.wrap(b"\x00" * 1100)) == b"\x00" * 1100
+
+    def test_corrupt_length_detected(self):
+        ch = self._channel()
+        out = bytearray(ch.wrap(b"\xa5" * 301))
+        out[8] ^= 0xFF  # garble the encrypted length field
+        with pytest.raises(ValueError):
+            ch.unwrap(bytes(out))
+
+    def test_short_datagram_rejected(self):
+        with pytest.raises(ValueError):
+            self._channel().unwrap(b"\x00" * 4)
+
+    def test_wire_sizes_preview_matches(self):
+        ch = self._channel()
+        preview = ch.wire_sizes(5, 301)
+        actual = [len(ch.wrap(b"\xa5" * 301)) for _ in range(5)]
+        assert preview == actual
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            CoverProfile("bad", ())
+        with pytest.raises(ValueError):
+            CoverProfile("bad", (0,))

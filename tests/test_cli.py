@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize("command", ["demo", "cost", "quality"])
+    def test_known_commands_parse(self, command):
+        args = build_parser().parse_args([command])
+        assert args.command == command
+
+    def test_attack_options(self):
+        args = build_parser().parse_args(
+            ["attack", "--users", "123", "--bin", "2.5"])
+        assert args.users == 123
+        assert args.bin == 2.5
+
+
+class TestCommands:
+    def test_demo_succeeds(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered and decrypted" in out
+
+    def test_attack_reports_both_systems(self, capsys):
+        assert main(["attack", "--users", "400", "--days", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Tor-carried" in out
+        assert "Herd-carried" in out
+
+    def test_cost_reports_ranges(self, capsys):
+        assert main(["cost", "--users", "100000"]) == 0
+        out = capsys.readouterr().out
+        assert "with superpeers" in out
+        assert "without superpeers" in out
+
+    def test_blocking_sweep_runs(self, capsys):
+        assert main(["blocking", "--users", "500", "--days", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "clients/channel" in out
+
+    def test_trace_writes_csv(self, capsys, tmp_path):
+        out_file = tmp_path / "trace.csv"
+        with out_file.open("w") as fh:
+            import repro.cli as cli
+            parser = cli.build_parser()
+            args = parser.parse_args(["trace", "--users", "100",
+                                      "--days", "1"])
+            args.output = fh
+            assert cli._HANDLERS["trace"](args) == 0
+        lines = out_file.read_text().splitlines()
+        assert lines[0] == "caller,callee,start_s,duration_s"
+        assert len(lines) > 10
+
+    def test_quality_reports_pairs(self, capsys):
+        assert main(["quality", "--packets", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "AU-EU" in out
+        assert "Herd extra one-way latency" in out
+
+
+class TestReportCommand:
+    def test_report_shapes_hold(self, capsys):
+        assert main(["report", "--users", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "all shape criteria hold" in out
+        assert "| E1 |" in out

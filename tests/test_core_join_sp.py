@@ -1,0 +1,398 @@
+"""Integration tests: join protocol, superpeer rounds, signaling,
+blacklisting, and the SP-facing invariants."""
+
+import random
+
+import pytest
+
+from repro.core.blacklist import SPMonitor
+from repro.core.client import HerdClient
+from repro.core.channel import decode_manifest
+from repro.core.invariants import (
+    looks_uniform,
+    series_identical,
+    sp_state_is_activity_free,
+)
+from repro.core.join import join_zone
+from repro.core.network_coding import CODED_PACKET_SIZE
+from repro.core.signaling import (
+    ChannelGrant,
+    DOWNSTREAM_PACKET_SIZE,
+    IncomingCallAnnouncement,
+    KIND_GRANT,
+    KIND_INCOMING,
+    KIND_VOIP,
+    make_downstream_chaff,
+    make_downstream_packet,
+    open_downstream_packet,
+)
+from repro.core.superpeer import SuperPeer
+
+from conftest import build_testbed
+
+
+def _sp_testbed(n_clients=6, n_channels=3, k=2, seed=7):
+    """One zone, one mix with channels, one SP hosting them, clients
+    joined through the SP path."""
+    bed = build_testbed(zone_specs=[("zone-EU", "dc-eu", 1)], seed=seed)
+    mix = bed.mixes["zone-EU/mix-0"]
+    mix.configure_channels(n_channels)
+    sp = SuperPeer("sp-0", mix.mix_id)
+    for ch in range(n_channels):
+        sp.host_channel(ch, [])
+    bed.superpeers["sp-0"] = sp
+    clients = []
+    for i in range(n_clients):
+        client = HerdClient(f"client-{i}", "zone-EU", rng=bed.rng, k=k)
+        join_zone(client, bed.directories["zone-EU"], bed.mixes,
+                  superpeers=bed.superpeers, rng=bed.rng)
+        bed.clients[client.client_id] = client
+        clients.append(client)
+    return bed, mix, sp, clients
+
+
+class TestJoinProtocol:
+    def test_direct_join_without_sps(self, testbed):
+        client = testbed.add_client("alice", "zone-EU")
+        assert client.joined
+        assert client.mix_id in testbed.mixes
+        mix = testbed.mixes[client.mix_id]
+        assert "alice" in mix.client_keys
+
+    def test_join_key_agreement(self, testbed):
+        client = testbed.add_client("alice", "zone-EU")
+        mix = testbed.mixes[client.mix_id]
+        assert mix.client_keys["alice"].key == client.session_key.key
+
+    def test_join_issues_certificate(self, testbed):
+        client = testbed.add_client("alice", "zone-EU")
+        assert client.certificate.zone_id == "zone-EU"
+        assert client.certificate.role == "client"
+        assert testbed.root.verify_chain(
+            client.certificate,
+            testbed.directories["zone-EU"].certificate)
+
+    def test_double_join_rejected(self, testbed):
+        client = testbed.add_client("alice", "zone-EU")
+        with pytest.raises(RuntimeError):
+            join_zone(client, testbed.directories["zone-EU"],
+                      testbed.mixes)
+
+    def test_wrong_zone_directory_rejected(self, testbed):
+        client = HerdClient("alice", "zone-EU", rng=testbed.rng)
+        with pytest.raises(ValueError):
+            join_zone(client, testbed.directories["zone-NA"],
+                      testbed.mixes)
+
+    def test_sp_join_attaches_k_channels(self):
+        bed, mix, sp, clients = _sp_testbed(n_clients=4, n_channels=4,
+                                            k=2)
+        for client in clients:
+            assert len(client.attachments) == 2
+            channels = {a.channel_id for a in client.attachments}
+            assert len(channels) == 2
+
+    def test_sp_join_balances_channels(self):
+        _, mix, sp, _ = _sp_testbed(n_clients=6, n_channels=3, k=2)
+        occupancy = [ch.member_count() for ch in mix.channels.values()]
+        assert max(occupancy) - min(occupancy) <= 1
+
+    def test_mix_and_sp_slots_agree(self):
+        bed, mix, sp, clients = _sp_testbed()
+        for client in clients:
+            for att in client.attachments:
+                assert sp.channel_clients[att.channel_id][att.slot] \
+                    == client.client_id
+                assert mix.client_at_slot(att.channel_id, att.slot) \
+                    == client.client_id
+
+
+class TestSuperPeerRounds:
+    def test_idle_round_roundtrip(self):
+        bed, mix, sp, clients = _sp_testbed(n_clients=4, n_channels=2,
+                                            k=1)
+        channel_id = 0
+        members = sp.channel_clients[channel_id]
+        packets, manifests = [], []
+        for client_id in members:
+            client = bed.clients[client_id]
+            att = next(a for a in client.attachments
+                       if a.channel_id == channel_id)
+            pkt, mf = client.upstream_packet(att)
+            packets.append(pkt)
+            manifests.append(mf)
+        up = sp.combine_upstream(channel_id, 0, packets, manifests)
+        assert len(up.xor_packet) == CODED_PACKET_SIZE
+        # Mix decodes manifests by slot, then the round.
+        entries = []
+        for slot, raw in enumerate(up.manifests):
+            client_id = mix.client_at_slot(channel_id, slot)
+            key = mix.client_keys[client_id]
+            numeric = mix.channels[channel_id].members[slot]
+            m = decode_manifest(raw, key, slot, expected_sequence=0)
+            entries.append((numeric, m.sequence, m.signal))
+        active, payload, signalers = mix.decode_channel_round(
+            channel_id, up.xor_packet, entries)
+        assert active is None
+        assert payload == b""
+        assert signalers == []
+
+    def test_active_round_recovers_cell(self):
+        bed, mix, sp, clients = _sp_testbed(n_clients=4, n_channels=2,
+                                            k=1)
+        channel_id = 0
+        members = sp.channel_clients[channel_id]
+        talker_id = members[0]
+        talker = bed.clients[talker_id]
+        talker_att = next(a for a in talker.attachments
+                          if a.channel_id == channel_id)
+        # Mix allocates the call to the talker on this channel.
+        mix.channels[channel_id].start_call(talker_att.slot)
+        cell = b"ONION-CELL" * 4
+        packets, manifests = [], []
+        for client_id in members:
+            client = bed.clients[client_id]
+            att = next(a for a in client.attachments
+                       if a.channel_id == channel_id)
+            payload = cell if client_id == talker_id else None
+            pkt, mf = client.upstream_packet(att, payload)
+            packets.append(pkt)
+            manifests.append(mf)
+        up = sp.combine_upstream(channel_id, 0, packets, manifests)
+        entries = []
+        for slot, raw in enumerate(up.manifests):
+            client_id = mix.client_at_slot(channel_id, slot)
+            key = mix.client_keys[client_id]
+            numeric = mix.channels[channel_id].members[slot]
+            m = decode_manifest(raw, key, slot, expected_sequence=0)
+            entries.append((numeric, m.sequence, m.signal))
+        active, payload, _ = mix.decode_channel_round(
+            channel_id, up.xor_packet, entries)
+        assert active == mix.channels[channel_id].members[
+            talker_att.slot]
+        assert payload[:len(cell)] == cell
+
+    def test_signal_bit_travels_in_manifest(self):
+        bed, mix, sp, clients = _sp_testbed(n_clients=2, n_channels=1,
+                                            k=1)
+        caller = clients[0]
+        caller.request_outgoing_call()
+        members = sp.channel_clients[0]
+        packets, manifests = [], []
+        for client_id in members:
+            client = bed.clients[client_id]
+            att = client.attachments[0]
+            pkt, mf = client.upstream_packet(att)
+            packets.append(pkt)
+            manifests.append(mf)
+        up = sp.combine_upstream(0, 0, packets, manifests)
+        entries = []
+        for slot, raw in enumerate(up.manifests):
+            client_id = mix.client_at_slot(0, slot)
+            key = mix.client_keys[client_id]
+            numeric = mix.channels[0].members[slot]
+            m = decode_manifest(raw, key, slot, expected_sequence=0)
+            entries.append((numeric, m.sequence, m.signal))
+        _, _, signalers = mix.decode_channel_round(0, up.xor_packet,
+                                                   entries)
+        caller_numeric = mix.channels[0].members[
+            caller.attachments[0].slot]
+        assert signalers == [caller_numeric]
+
+    def test_packet_count_mismatch_rejected(self):
+        bed, mix, sp, clients = _sp_testbed(n_clients=2, n_channels=1,
+                                            k=1)
+        with pytest.raises(ValueError):
+            sp.combine_upstream(0, 0, [b"\x00" * CODED_PACKET_SIZE], [])
+
+    def test_wrong_packet_size_rejected(self):
+        bed, mix, sp, clients = _sp_testbed(n_clients=2, n_channels=1,
+                                            k=1)
+        n = len(sp.channel_clients[0])
+        with pytest.raises(ValueError):
+            sp.combine_upstream(0, 0, [b"\x00" * 7] * n, [b"\x00"] * n)
+
+    def test_audit_buffer_keeps_recent_rounds(self):
+        bed, mix, sp, clients = _sp_testbed(n_clients=2, n_channels=1,
+                                            k=1)
+        members = sp.channel_clients[0]
+        for rnd in range(5):
+            packets, manifests = [], []
+            for client_id in members:
+                client = bed.clients[client_id]
+                att = client.attachments[0]
+                pkt, mf = client.upstream_packet(att)
+                packets.append(pkt)
+                manifests.append(mf)
+            sp.combine_upstream(0, rnd, packets, manifests)
+        assert len(sp.audit_packets(0, 4)) == len(members)
+        with pytest.raises(KeyError):
+            sp.audit_packets(0, 0)  # evicted
+
+    def test_downstream_broadcast_reaches_all(self):
+        bed, mix, sp, clients = _sp_testbed(n_clients=4, n_channels=2,
+                                            k=1)
+        packet = make_downstream_chaff(random.Random(0))
+        out = sp.broadcast_downstream(0, packet)
+        assert len(out) == len(sp.channel_clients[0])
+        assert all(pkt == packet for _, pkt in out)
+
+
+class TestSignaling:
+    def test_announcement_only_callee_decrypts(self):
+        bed, mix, sp, clients = _sp_testbed(n_clients=3, n_channels=1,
+                                            k=1)
+        callee = clients[0]
+        key = mix.client_keys[callee.client_id]
+        packet = make_downstream_packet(
+            key, channel_id=0, round_index=9, kind=KIND_INCOMING,
+            payload=IncomingCallAnnouncement(call_id=42).encode())
+        assert len(packet) == DOWNSTREAM_PACKET_SIZE
+        got = open_downstream_packet(callee.session_key, 0, 9, packet)
+        assert got is not None
+        kind, payload = got
+        assert kind == KIND_INCOMING
+        assert IncomingCallAnnouncement.decode(payload).call_id == 42
+        for other in clients[1:]:
+            assert open_downstream_packet(other.session_key, 0, 9,
+                                          packet) is None
+
+    def test_wrong_round_index_fails(self):
+        bed, mix, sp, clients = _sp_testbed(n_clients=1, n_channels=1,
+                                            k=1)
+        key = mix.client_keys[clients[0].client_id]
+        packet = make_downstream_packet(key, 0, 5, KIND_VOIP, b"cell")
+        assert open_downstream_packet(clients[0].session_key, 0, 6,
+                                      packet) is None
+
+    def test_grant_roundtrip(self):
+        grant = ChannelGrant(channel_id=3, call_id=77)
+        assert ChannelGrant.decode(grant.encode()) == grant
+
+    def test_chaff_looks_uniform_and_never_decrypts(self):
+        bed, mix, sp, clients = _sp_testbed(n_clients=2, n_channels=1,
+                                            k=1)
+        rng = random.Random(1)
+        chaff = make_downstream_chaff(rng)
+        assert looks_uniform(chaff)
+        for client in clients:
+            assert open_downstream_packet(client.session_key, 0, 0,
+                                          chaff) is None
+
+    def test_oversized_payload_rejected(self):
+        bed, mix, sp, clients = _sp_testbed(n_clients=1, n_channels=1,
+                                            k=1)
+        key = mix.client_keys[clients[0].client_id]
+        with pytest.raises(ValueError):
+            make_downstream_packet(key, 0, 0, KIND_VOIP, b"\x00" * 400)
+
+    def test_unknown_kind_rejected(self):
+        bed, mix, sp, clients = _sp_testbed(n_clients=1, n_channels=1,
+                                            k=1)
+        key = mix.client_keys[clients[0].client_id]
+        with pytest.raises(ValueError):
+            make_downstream_packet(key, 0, 0, 0x99, b"")
+
+
+class TestBlacklist:
+    def test_good_sp_stays(self):
+        mon = SPMonitor()
+        for _ in range(20):
+            mon.record_quality("sp-0", loss=0.001, jitter_ms=5.0)
+        assert not mon.is_blacklisted("sp-0")
+
+    def test_lossy_sp_blacklisted(self):
+        mon = SPMonitor()
+        for _ in range(10):
+            mon.record_quality("sp-0", loss=0.10, jitter_ms=5.0)
+        assert mon.is_blacklisted("sp-0")
+
+    def test_jittery_sp_blacklisted(self):
+        mon = SPMonitor()
+        for _ in range(10):
+            mon.record_quality("sp-0", loss=0.0, jitter_ms=100.0)
+        assert mon.is_blacklisted("sp-0")
+
+    def test_no_judgement_before_min_samples(self):
+        mon = SPMonitor()
+        for _ in range(5):
+            mon.record_quality("sp-0", loss=0.5, jitter_ms=200.0)
+        assert not mon.is_blacklisted("sp-0")
+
+    def test_unavailable_sp_blacklisted(self):
+        mon = SPMonitor()
+        for i in range(20):
+            mon.record_availability("sp-0", is_up=(i % 2 == 0))
+        assert mon.is_blacklisted("sp-0")
+
+    def test_validation(self):
+        mon = SPMonitor()
+        with pytest.raises(ValueError):
+            mon.record_quality("sp", loss=1.5, jitter_ms=0)
+        with pytest.raises(ValueError):
+            mon.record_quality("sp", loss=0.0, jitter_ms=-1)
+
+    def test_audit_identifies_lying_client(self):
+        mon = SPMonitor()
+        culprit = mon.audit_round(
+            "sp-0",
+            packets_by_client={"c1": b"expected", "c2": b"forged"},
+            expected_by_client={"c1": b"expected", "c2": b"other"})
+        assert culprit == "c2"
+        assert "c2" in mon.blacklisted_clients
+        assert not mon.is_blacklisted("sp-0")
+
+    def test_audit_blames_sp_when_clients_honest(self):
+        mon = SPMonitor()
+        culprit = mon.audit_round(
+            "sp-0",
+            packets_by_client={"c1": b"expected"},
+            expected_by_client={"c1": b"expected"})
+        assert culprit is None
+        assert mon.is_blacklisted("sp-0")
+
+
+class TestInvariantI8:
+    def test_sp_state_contains_no_activity(self):
+        bed, mix, sp, clients = _sp_testbed()
+        assert sp_state_is_activity_free(sp)
+
+    def test_sp_traffic_identical_active_vs_idle(self):
+        """I8 behaviourally: the byte volume an SP forwards per round is
+        identical whether or not a call is active."""
+        def run_rounds(active: bool) -> dict:
+            bed, mix, sp, clients = _sp_testbed(n_clients=4,
+                                                n_channels=2, k=1,
+                                                seed=13)
+            members = sp.channel_clients[0]
+            talker = bed.clients[members[0]]
+            att = talker.attachments[0]
+            if active:
+                mix.channels[0].start_call(att.slot)
+            volume = {}
+            for rnd in range(20):
+                packets, manifests = [], []
+                for client_id in members:
+                    client = bed.clients[client_id]
+                    a = client.attachments[0]
+                    payload = (b"CELL" if active and
+                               client is talker else None)
+                    pkt, mf = client.upstream_packet(a, payload)
+                    packets.append(pkt)
+                    manifests.append(mf)
+                up = sp.combine_upstream(0, rnd, packets, manifests)
+                volume[rnd] = (len(up.xor_packet)
+                               + sum(len(m) for m in up.manifests))
+            return volume
+
+        assert series_identical(run_rounds(False), run_rounds(True))
+
+    def test_client_upstream_ciphertext_uniform(self):
+        bed, mix, sp, clients = _sp_testbed(n_clients=1, n_channels=1,
+                                            k=1)
+        client = clients[0]
+        att = client.attachments[0]
+        chaff_pkt, _ = client.upstream_packet(att)
+        voip_pkt, _ = client.upstream_packet(att, b"frame")
+        assert looks_uniform(chaff_pkt)
+        assert looks_uniform(voip_pkt)

@@ -1,0 +1,314 @@
+"""Tests for XOR network coding, manifests, and channel state (§3.6)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.channel import (
+    Channel,
+    ChannelManifest,
+    decode_manifest,
+    encode_manifest,
+)
+from repro.core.network_coding import (
+    CODED_PACKET_SIZE,
+    CODED_PAYLOAD,
+    ChaffPredictor,
+    decode_round,
+    decrypt_packet,
+    make_chaff_packet,
+    make_payload_packet,
+    xor_bytes,
+)
+from repro.crypto.keys import SessionKey
+
+
+def _keys(n, seed=0):
+    rng = random.Random(seed)
+    return {i: SessionKey.generate(rng) for i in range(n)}
+
+
+class TestXorBytes:
+    def test_xor_identity(self):
+        assert xor_bytes(b"\x01\x02", b"\x01\x02") == b"\x00\x00"
+
+    def test_xor_associative_chain(self):
+        a, b, c = b"\x0f" * 4, b"\xf0" * 4, b"\xaa" * 4
+        assert xor_bytes(a, b, c) == xor_bytes(xor_bytes(a, b), c)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"\x00", b"\x00\x00")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            xor_bytes()
+
+
+class TestPackets:
+    def test_chaff_packet_fixed_size(self):
+        key = SessionKey.generate(random.Random(1))
+        assert len(make_chaff_packet(key, 0)) == CODED_PACKET_SIZE
+
+    def test_chaff_predictable(self):
+        key = SessionKey.generate(random.Random(1))
+        assert make_chaff_packet(key, 5) == make_chaff_packet(key, 5)
+
+    def test_chaff_differs_per_sequence(self):
+        key = SessionKey.generate(random.Random(1))
+        assert make_chaff_packet(key, 0) != make_chaff_packet(key, 1)
+
+    def test_payload_roundtrip(self):
+        key = SessionKey.generate(random.Random(2))
+        pkt = make_payload_packet(key, 9, b"onion cell bytes")
+        is_payload, payload = decrypt_packet(key, 9, pkt)
+        assert is_payload
+        assert payload[:16] == b"onion cell bytes"
+
+    def test_chaff_decrypts_as_chaff(self):
+        key = SessionKey.generate(random.Random(3))
+        is_payload, payload = decrypt_packet(key, 4,
+                                             make_chaff_packet(key, 4))
+        assert not is_payload
+        assert payload == b""
+
+    def test_wrong_sequence_detected(self):
+        key = SessionKey.generate(random.Random(3))
+        pkt = make_chaff_packet(key, 4)
+        with pytest.raises(ValueError):
+            decrypt_packet(key, 5, pkt)
+
+    def test_oversized_payload_rejected(self):
+        key = SessionKey.generate(random.Random(3))
+        with pytest.raises(ValueError):
+            make_payload_packet(key, 0, b"\x00" * (CODED_PAYLOAD + 1))
+
+    def test_wrong_size_rejected(self):
+        key = SessionKey.generate(random.Random(3))
+        with pytest.raises(ValueError):
+            decrypt_packet(key, 0, b"\x00" * 10)
+
+
+class TestDecodeRound:
+    """The mix-side decode of Fig. 2(b)."""
+
+    def test_all_idle_round(self):
+        keys = _keys(4)
+        predictor = ChaffPredictor(keys)
+        packets = [make_chaff_packet(keys[i], 10 + i) for i in range(4)]
+        manifests = [(i, 10 + i, False) for i in range(4)]
+        active, payload, signalers = decode_round(
+            xor_bytes(*packets), manifests, predictor)
+        assert active is None
+        assert payload == b""
+        assert signalers == []
+
+    def test_one_active_client_recovered(self):
+        keys = _keys(4)
+        predictor = ChaffPredictor(keys)
+        cell = b"RTP!" * 40
+        packets = [
+            make_chaff_packet(keys[0], 100),
+            make_payload_packet(keys[1], 200, cell),
+            make_chaff_packet(keys[2], 300),
+            make_chaff_packet(keys[3], 400),
+        ]
+        manifests = [(0, 100, False), (1, 200, False),
+                     (2, 300, False), (3, 400, False)]
+        active, payload, _ = decode_round(xor_bytes(*packets), manifests,
+                                          predictor, active_client=1)
+        assert active == 1
+        assert payload[:len(cell)] == cell
+
+    def test_signaling_bit_collected(self):
+        keys = _keys(3)
+        predictor = ChaffPredictor(keys)
+        packets = [make_chaff_packet(keys[i], i) for i in range(3)]
+        manifests = [(0, 0, False), (1, 1, True), (2, 2, False)]
+        _, _, signalers = decode_round(xor_bytes(*packets), manifests,
+                                       predictor)
+        assert signalers == [1]
+
+    def test_signaler_can_also_be_idle_sender(self):
+        # §3.6.2: "the caller sets the signaling bit in the manifest of
+        # the chaff packets it sends" — the packet itself is chaff.
+        keys = _keys(2)
+        predictor = ChaffPredictor(keys)
+        packets = [make_chaff_packet(keys[0], 0),
+                   make_chaff_packet(keys[1], 0)]
+        manifests = [(0, 0, True), (1, 0, False)]
+        active, _, signalers = decode_round(xor_bytes(*packets),
+                                            manifests, predictor)
+        assert active is None
+        assert signalers == [0]
+
+    def test_single_client_channel(self):
+        keys = _keys(1)
+        predictor = ChaffPredictor(keys)
+        pkt = make_payload_packet(keys[0], 7, b"solo")
+        active, payload, _ = decode_round(pkt, [(0, 7, False)], predictor,
+                                          active_client=0)
+        assert active == 0
+        assert payload[:4] == b"solo"
+
+    def test_active_client_sending_chaff_yields_no_payload(self):
+        # An active client with nothing to send (e.g. during teardown)
+        # sends chaff; the round decodes cleanly to "no payload".
+        keys = _keys(2)
+        predictor = ChaffPredictor(keys)
+        packets = [make_chaff_packet(keys[0], 3),
+                   make_chaff_packet(keys[1], 4)]
+        manifests = [(0, 3, False), (1, 4, False)]
+        active, payload, _ = decode_round(xor_bytes(*packets), manifests,
+                                          predictor, active_client=0)
+        assert active is None
+        assert payload == b""
+
+    def test_unexpected_payload_detected_as_misbehaviour(self):
+        # §3.6.1: "a malicious SP or client could deny service by
+        # sending [...] an unexpected chaff packet" — here, an
+        # unexpected *payload* packet with no allocated call.  The mix
+        # detects the nonzero residue and raises for the audit path.
+        keys = _keys(2)
+        predictor = ChaffPredictor(keys)
+        packets = [make_payload_packet(keys[0], 0, b"a"),
+                   make_chaff_packet(keys[1], 0)]
+        manifests = [(0, 0, False), (1, 0, False)]
+        with pytest.raises(ValueError):
+            decode_round(xor_bytes(*packets), manifests, predictor)
+
+    def test_corrupted_active_packet_detected(self):
+        keys = _keys(2)
+        predictor = ChaffPredictor(keys)
+        packets = [make_payload_packet(keys[0], 9, b"a"),
+                   make_chaff_packet(keys[1], 9)]
+        xored = bytearray(xor_bytes(*packets))
+        xored[4] ^= 0xFF  # flip a sequence-number bit
+        with pytest.raises(ValueError):
+            decode_round(bytes(xored), [(0, 9, False), (1, 9, False)],
+                         predictor, active_client=0)
+
+    def test_active_client_missing_from_manifests(self):
+        keys = _keys(1)
+        predictor = ChaffPredictor(keys)
+        pkt = make_chaff_packet(keys[0], 0)
+        with pytest.raises(ValueError):
+            decode_round(pkt, [(0, 0, False)], predictor,
+                         active_client=5)
+
+    def test_wrong_size_xor_rejected(self):
+        predictor = ChaffPredictor(_keys(1))
+        with pytest.raises(ValueError):
+            decode_round(b"\x00" * 5, [(0, 0, False)], predictor)
+
+    def test_unknown_client_raises(self):
+        predictor = ChaffPredictor({})
+        with pytest.raises(KeyError):
+            predictor.predict(0, 0)
+
+    def test_add_client(self):
+        predictor = ChaffPredictor({})
+        key = SessionKey.generate(random.Random(0))
+        predictor.add_client(5, key)
+        assert predictor.predict(5, 0) == make_chaff_packet(key, 0)
+
+
+class TestManifest:
+    def test_roundtrip(self):
+        key = SessionKey.generate(random.Random(4))
+        m = ChannelManifest(client_id=7, sequence=123456, signal=True)
+        data = encode_manifest(m, key, slot=3)
+        assert len(data) == 4
+        out = decode_manifest(data, key, slot=3, expected_sequence=123450)
+        assert out == m
+
+    def test_wrong_slot_garbles(self):
+        key = SessionKey.generate(random.Random(4))
+        m = ChannelManifest(client_id=7, sequence=10, signal=False)
+        data = encode_manifest(m, key, slot=0)
+        out = decode_manifest(data, key, slot=1, expected_sequence=10)
+        assert out != m
+
+    def test_sequence_reconstruction_across_wrap(self):
+        key = SessionKey.generate(random.Random(5))
+        seq = (1 << 25) + 17  # wrapped once
+        m = ChannelManifest(client_id=1, sequence=seq, signal=False)
+        data = encode_manifest(m, key, slot=0)
+        out = decode_manifest(data, key, slot=0,
+                              expected_sequence=(1 << 25) + 10)
+        assert out.sequence == seq
+
+    def test_client_id_range_enforced(self):
+        with pytest.raises(ValueError):
+            ChannelManifest(client_id=64, sequence=0, signal=False)
+        with pytest.raises(ValueError):
+            ChannelManifest(client_id=1, sequence=-1, signal=False)
+
+    def test_bad_length_rejected(self):
+        key = SessionKey.generate(random.Random(6))
+        with pytest.raises(ValueError):
+            decode_manifest(b"\x00" * 3, key, 0, 0)
+
+
+class TestChannel:
+    def test_membership(self):
+        ch = Channel(0)
+        assert ch.add_member(100) == 0
+        assert ch.add_member(200) == 1
+        assert ch.members == {0: 100, 1: 200}
+        assert ch.member_count() == 2
+
+    def test_call_lifecycle(self):
+        ch = Channel(0)
+        ch.add_member(100)
+        assert not ch.is_busy
+        ch.start_call(0)
+        assert ch.is_busy
+        ch.end_call()
+        assert not ch.is_busy
+
+    def test_busy_channel_rejects_second_call(self):
+        ch = Channel(0)
+        ch.add_member(1)
+        ch.add_member(2)
+        ch.start_call(0)
+        with pytest.raises(RuntimeError):
+            ch.start_call(1)
+
+    def test_unknown_slot_rejected(self):
+        ch = Channel(0)
+        with pytest.raises(KeyError):
+            ch.start_call(0)
+
+    def test_channel_capacity(self):
+        ch = Channel(0)
+        for i in range(64):
+            ch.add_member(i)
+        with pytest.raises(ValueError):
+            ch.add_member(64)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_clients=st.integers(1, 8), active=st.integers(0, 8),
+       seed=st.integers(0, 1000),
+       payload=st.binary(min_size=1, max_size=CODED_PAYLOAD))
+def test_decode_round_property(n_clients, active, seed, payload):
+    """Any single active client among n is always recovered exactly."""
+    keys = _keys(n_clients, seed)
+    predictor = ChaffPredictor(keys)
+    active = active % n_clients
+    packets, manifests = [], []
+    for i in range(n_clients):
+        seq = seed + i
+        if i == active:
+            packets.append(make_payload_packet(keys[i], seq, payload))
+        else:
+            packets.append(make_chaff_packet(keys[i], seq))
+        manifests.append((i, seq, False))
+    got_active, got_payload, _ = decode_round(
+        xor_bytes(*packets), manifests, predictor, active_client=active)
+    assert got_active == active
+    assert got_payload[:len(payload)] == payload
+    assert got_payload[len(payload):] == b"\x00" * (CODED_PAYLOAD
+                                                    - len(payload))

@@ -1,0 +1,144 @@
+"""Tests for ChaCha20 / Poly1305 / AEAD against RFC 8439 vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.chacha20 import (
+    ChaCha20Poly1305,
+    chacha20_block,
+    chacha20_encrypt,
+    chacha20_keystream,
+    poly1305_mac,
+)
+
+
+KEY = bytes(range(32))
+NONCE = bytes.fromhex("000000090000004a00000000")
+
+
+class TestChaCha20Block:
+    def test_rfc8439_block_vector(self):
+        # RFC 8439 §2.3.2
+        out = chacha20_block(KEY, 1, NONCE)
+        expected = bytes.fromhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e")
+        assert out == expected
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            chacha20_block(b"\x00" * 31, 0, NONCE)
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(ValueError):
+            chacha20_block(KEY, 0, b"\x00" * 8)
+
+    def test_bad_counter(self):
+        with pytest.raises(ValueError):
+            chacha20_block(KEY, 2 ** 32, NONCE)
+
+
+class TestChaCha20Encrypt:
+    def test_rfc8439_encryption_vector(self):
+        # RFC 8439 §2.4.2
+        nonce = bytes.fromhex("000000000000004a00000000")
+        plaintext = (b"Ladies and Gentlemen of the class of '99: If I could "
+                     b"offer you only one tip for the future, sunscreen "
+                     b"would be it.")
+        ciphertext = chacha20_encrypt(KEY, nonce, plaintext, counter=1)
+        expected = bytes.fromhex(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d")
+        assert ciphertext == expected
+
+    def test_roundtrip(self):
+        msg = b"herd voip cell" * 10
+        ct = chacha20_encrypt(KEY, NONCE, msg)
+        assert chacha20_encrypt(KEY, NONCE, ct) == msg
+
+    def test_keystream_prefix_consistency(self):
+        long = chacha20_keystream(KEY, NONCE, 200)
+        short = chacha20_keystream(KEY, NONCE, 64)
+        assert long[:64] == short
+
+    def test_keystream_negative_length(self):
+        with pytest.raises(ValueError):
+            chacha20_keystream(KEY, NONCE, -1)
+
+    def test_zero_length(self):
+        assert chacha20_encrypt(KEY, NONCE, b"") == b""
+
+
+class TestPoly1305:
+    def test_rfc8439_mac_vector(self):
+        # RFC 8439 §2.5.2
+        key = bytes.fromhex(
+            "85d6be7857556d337f4452fe42d506a8"
+            "0103808afb0db2fd4abff6af4149f51b")
+        msg = b"Cryptographic Forum Research Group"
+        assert poly1305_mac(msg, key) == bytes.fromhex(
+            "a8061dc1305136c6c22b8baf0c0127a9")
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            poly1305_mac(b"x", b"\x00" * 16)
+
+
+class TestAEAD:
+    def test_rfc8439_aead_vector(self):
+        # RFC 8439 §2.8.2
+        key = bytes.fromhex(
+            "808182838485868788898a8b8c8d8e8f"
+            "909192939495969798999a9b9c9d9e9f")
+        nonce = bytes.fromhex("070000004041424344454647")
+        aad = bytes.fromhex("50515253c0c1c2c3c4c5c6c7")
+        plaintext = (b"Ladies and Gentlemen of the class of '99: If I could "
+                     b"offer you only one tip for the future, sunscreen "
+                     b"would be it.")
+        aead = ChaCha20Poly1305(key)
+        out = aead.encrypt(nonce, plaintext, aad)
+        expected_ct = bytes.fromhex(
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6"
+            "3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36"
+            "92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc"
+            "3ff4def08e4b7a9de576d26586cec64b6116")
+        expected_tag = bytes.fromhex("1ae10b594f09e26a7e902ecbd0600691")
+        assert out == expected_ct + expected_tag
+        assert aead.decrypt(nonce, out, aad) == plaintext
+
+    def test_tamper_detected(self):
+        aead = ChaCha20Poly1305(KEY)
+        out = bytearray(aead.encrypt(NONCE, b"payload", b"aad"))
+        out[0] ^= 1
+        with pytest.raises(ValueError):
+            aead.decrypt(NONCE, bytes(out), b"aad")
+
+    def test_wrong_aad_detected(self):
+        aead = ChaCha20Poly1305(KEY)
+        out = aead.encrypt(NONCE, b"payload", b"aad")
+        with pytest.raises(ValueError):
+            aead.decrypt(NONCE, out, b"other")
+
+    def test_truncated_ciphertext(self):
+        aead = ChaCha20Poly1305(KEY)
+        with pytest.raises(ValueError):
+            aead.decrypt(NONCE, b"\x00" * 8)
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            ChaCha20Poly1305(b"\x00" * 16)
+
+
+@given(data=st.binary(max_size=512), aad=st.binary(max_size=64))
+def test_aead_roundtrip_property(data, aad):
+    aead = ChaCha20Poly1305(KEY)
+    assert aead.decrypt(NONCE, aead.encrypt(NONCE, data, aad), aad) == data
+
+
+@given(data=st.binary(max_size=512))
+def test_stream_cipher_involution_property(data):
+    """Encrypting twice with the same key/nonce is the identity."""
+    once = chacha20_encrypt(KEY, NONCE, data)
+    assert chacha20_encrypt(KEY, NONCE, once) == data

@@ -1,0 +1,184 @@
+"""Tests for the XOR-parity FEC (§3.6.4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.voip.fec import (
+    FecDecoder,
+    FecEncoder,
+    FecPacket,
+    effective_loss,
+    k_for_target_loss,
+)
+
+
+def _encode_stream(k, n_packets, size=32):
+    enc = FecEncoder(k)
+    out = []
+    for i in range(n_packets):
+        out.extend(enc.encode(bytes([i % 256]) * size))
+    return out
+
+
+class TestEncoder:
+    def test_parity_after_k_packets(self):
+        enc = FecEncoder(3)
+        packets = []
+        for i in range(3):
+            packets.extend(enc.encode(bytes([i]) * 4))
+        kinds = [p.is_parity for p in packets]
+        assert kinds == [False, False, False, True]
+        assert packets[-1].payload == bytes([0 ^ 1 ^ 2]) * 4
+
+    def test_groups_advance(self):
+        packets = _encode_stream(2, 4)
+        groups = [p.group for p in packets]
+        assert groups == [0, 0, 0, 1, 1, 1]
+
+    def test_overhead(self):
+        assert FecEncoder(4).overhead == 0.25
+
+    def test_size_mismatch_rejected(self):
+        enc = FecEncoder(2)
+        enc.encode(b"\x00" * 4)
+        with pytest.raises(ValueError):
+            enc.encode(b"\x00" * 8)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            FecEncoder(0)
+        with pytest.raises(ValueError):
+            FecDecoder(0)
+
+
+class TestDecoder:
+    def test_no_loss_passthrough(self):
+        dec = FecDecoder(3)
+        got = []
+        for pkt in _encode_stream(3, 6):
+            got.extend(dec.receive(pkt))
+        assert len(got) == 6
+        assert dec.recovered == 0
+
+    def test_single_loss_recovered(self):
+        dec = FecDecoder(3)
+        packets = _encode_stream(3, 3)
+        lost = packets[1]
+        got = []
+        for pkt in packets:
+            if pkt is lost:
+                continue
+            got.extend(dec.receive(pkt))
+        assert dec.recovered == 1
+        recovered = [g for g in got if g[1] == lost.index]
+        assert recovered == [(0, 1, lost.payload)]
+
+    def test_parity_loss_harmless(self):
+        dec = FecDecoder(3)
+        packets = _encode_stream(3, 3)
+        got = []
+        for pkt in packets:
+            if pkt.is_parity:
+                continue
+            got.extend(dec.receive(pkt))
+        assert len(got) == 3
+        assert dec.recovered == 0
+
+    def test_double_loss_unrecoverable(self):
+        dec = FecDecoder(3)
+        packets = _encode_stream(3, 3)
+        for pkt in packets:
+            if not pkt.is_parity and pkt.index in (0, 1):
+                continue
+            dec.receive(pkt)
+        assert dec.flush_group(0) == 2
+        assert dec.unrecoverable == 2
+
+    def test_duplicate_ignored(self):
+        dec = FecDecoder(2)
+        pkt = FecPacket(0, 0, False, b"\x01" * 4)
+        assert dec.receive(pkt)
+        assert dec.receive(pkt) == []
+
+    def test_late_packet_after_recovery_ignored(self):
+        dec = FecDecoder(2)
+        packets = _encode_stream(2, 2)
+        dec.receive(packets[0])
+        dec.receive(packets[2])  # parity recovers packet 1
+        assert dec.recovered == 1
+        assert dec.receive(packets[1]) == []
+
+    def test_flush_completed_group_reports_zero(self):
+        dec = FecDecoder(2)
+        for pkt in _encode_stream(2, 2):
+            dec.receive(pkt)
+        assert dec.flush_group(0) == 0
+        assert dec.unrecoverable == 0
+
+
+class TestEffectiveLoss:
+    def test_zero_loss(self):
+        assert effective_loss(0.0, 4) == 0.0
+
+    def test_reduces_loss(self):
+        assert effective_loss(0.05, 4) < 0.05
+
+    def test_closed_form(self):
+        p, k = 0.1, 3
+        assert effective_loss(p, k) == pytest.approx(
+            p * (1 - (1 - p) ** k))
+
+    def test_monotone_in_k(self):
+        values = [effective_loss(0.05, k) for k in (1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_loss(1.5, 2)
+        with pytest.raises(ValueError):
+            effective_loss(0.1, 0)
+
+    def test_k_for_target(self):
+        # §3.6.4: reduce a lossy SP's effective loss to an acceptable
+        # level — e.g. 5% raw down to under 1%.
+        k = k_for_target_loss(0.05, 0.01)
+        assert k is not None
+        assert effective_loss(0.05, k) <= 0.01
+        assert effective_loss(0.05, k + 1) > 0.01
+
+    def test_k_for_target_unreachable(self):
+        assert k_for_target_loss(0.9, 1e-6) is None
+
+    def test_k_for_target_trivial(self):
+        assert k_for_target_loss(0.001, 0.01) == 64
+
+    def test_k_for_target_validation(self):
+        with pytest.raises(ValueError):
+            k_for_target_loss(0.05, 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(k=st.integers(1, 6), n_groups=st.integers(1, 5),
+       seed=st.integers(0, 999))
+def test_single_loss_per_group_always_recovered(k, n_groups, seed):
+    """Property: dropping any one packet per group loses nothing."""
+    rng = random.Random(seed)
+    packets = _encode_stream(k, k * n_groups)
+    drop = set()
+    per_group = {}
+    for i, pkt in enumerate(packets):
+        per_group.setdefault(pkt.group, []).append(i)
+    for indices in per_group.values():
+        drop.add(rng.choice(indices))
+    dec = FecDecoder(k)
+    delivered = []
+    for i, pkt in enumerate(packets):
+        if i in drop:
+            continue
+        delivered.extend(dec.receive(pkt))
+    data_packets = [(p.group, p.index) for p in packets
+                    if not p.is_parity]
+    assert sorted((g, i) for g, i, _ in delivered) == sorted(data_packets)
+    assert dec.unrecoverable == 0

@@ -1,0 +1,130 @@
+"""Tests: FIFO link queueing, entropy anonymity metric, and example
+smoke tests (every shipped example must run end to end)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.anonymity import effective_anonymity_entropy
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import Link
+from repro.netsim.node import Node
+from repro.netsim.packet import IP_UDP_HEADER_BYTES, Packet
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+def _pair(loop, **kwargs):
+    a, b = Node("a", loop), Node("b", loop)
+    b.on_packet(lambda p: None)
+    return a, b, Link(loop, a, b, **kwargs)
+
+
+class TestFifoLink:
+    def test_burst_serializes(self):
+        loop = EventLoop()
+        a, b, _ = _pair(loop, bandwidth_bps=1000.0, fifo=True)
+        arrivals = []
+        b.on_packet(lambda p: arrivals.append(loop.now))
+        size = 100 - IP_UDP_HEADER_BYTES  # 100 B on the wire = 0.1 s
+        for _ in range(3):
+            a.send("b", Packet(b"x" * size, "a", "b"))
+        loop.run()
+        assert arrivals == [pytest.approx(0.1), pytest.approx(0.2),
+                            pytest.approx(0.3)]
+
+    def test_non_fifo_burst_overlaps(self):
+        loop = EventLoop()
+        a, b, _ = _pair(loop, bandwidth_bps=1000.0, fifo=False)
+        arrivals = []
+        b.on_packet(lambda p: arrivals.append(loop.now))
+        size = 100 - IP_UDP_HEADER_BYTES
+        for _ in range(3):
+            a.send("b", Packet(b"x" * size, "a", "b"))
+        loop.run()
+        assert arrivals == [pytest.approx(0.1)] * 3
+
+    def test_queue_drains_between_bursts(self):
+        loop = EventLoop()
+        a, b, _ = _pair(loop, bandwidth_bps=1000.0, fifo=True)
+        arrivals = []
+        b.on_packet(lambda p: arrivals.append(loop.now))
+        size = 100 - IP_UDP_HEADER_BYTES
+        a.send("b", Packet(b"x" * size, "a", "b"))
+        loop.schedule(1.0, lambda: a.send("b", Packet(b"x" * size,
+                                                      "a", "b")))
+        loop.run()
+        assert arrivals == [pytest.approx(0.1), pytest.approx(1.1)]
+
+    def test_directions_independent(self):
+        loop = EventLoop()
+        a, b, _ = _pair(loop, bandwidth_bps=1000.0, fifo=True)
+        a.on_packet(lambda p: None)
+        arrivals = []
+        b.on_packet(lambda p: arrivals.append(("b", loop.now)))
+        size = 100 - IP_UDP_HEADER_BYTES
+        a.send("b", Packet(b"x" * size, "a", "b"))
+        b.send("a", Packet(b"x" * size, "b", "a"))
+        loop.run()
+        # b's transmit queue is not blocked by a's.
+        assert arrivals == [("b", pytest.approx(0.1))]
+
+    def test_fifo_requires_bandwidth(self):
+        loop = EventLoop()
+        a, b = Node("a", loop), Node("b", loop)
+        with pytest.raises(ValueError):
+            Link(loop, a, b, fifo=True)
+
+
+class TestEntropyAnonymity:
+    def test_uniform_gives_set_size(self):
+        assert effective_anonymity_entropy([0.25] * 4) == \
+            pytest.approx(4.0)
+
+    def test_point_mass_gives_one(self):
+        assert effective_anonymity_entropy([1.0]) == pytest.approx(1.0)
+
+    def test_skew_reduces_effective_size(self):
+        skewed = effective_anonymity_entropy([0.7, 0.1, 0.1, 0.1])
+        assert skewed < 4.0
+        assert skewed > 1.0
+
+    def test_unnormalized_input_accepted(self):
+        assert effective_anonymity_entropy([2, 2, 2, 2]) == \
+            pytest.approx(4.0)
+
+    def test_zeroes_ignored(self):
+        assert effective_anonymity_entropy([0.5, 0.5, 0.0]) == \
+            pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            effective_anonymity_entropy([])
+
+    def test_herd_sda_scores_full_entropy(self):
+        from repro.attacks.disclosure import (herd_sda_rounds,
+                                              statistical_disclosure)
+        online = set(range(50))
+        target_rounds, background = herd_sda_rounds(online, 0, 10, 10)
+        result = statistical_disclosure(target_rounds, background)
+        # Convert (uniform) target frequencies to a distribution.
+        freqs = [1.0] * len(result.scores)
+        assert effective_anonymity_entropy(freqs) == pytest.approx(49.0)
+
+
+@pytest.mark.parametrize("example", EXAMPLES,
+                         ids=[e.stem for e in EXAMPLES])
+def test_example_runs(example, capsys, monkeypatch):
+    """Every shipped example executes end to end without error."""
+    # Shrink the heavyweight knobs so the smoke test stays fast.
+    import repro.simulation.deployment as deployment
+    original = deployment.DeploymentConfig
+    monkeypatch.setattr(
+        deployment, "DeploymentConfig",
+        lambda *a, **kw: original(*a, **{**kw, "n_probe_packets": 30}))
+    runpy.run_path(str(example), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{example.stem} produced no output"

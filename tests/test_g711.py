@@ -1,0 +1,130 @@
+"""Tests for the G.711 µ-law transcoder."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.voip.g711 import (
+    mix_linear,
+    signal_to_noise_db,
+    tone_frame,
+    ulaw_decode,
+    ulaw_decode_sample,
+    ulaw_encode,
+    ulaw_encode_sample,
+)
+
+
+class TestSamples:
+    def test_zero_encodes_to_ff(self):
+        # µ-law 0xFF is (near-)zero by convention (inverted bits).
+        assert ulaw_encode_sample(0) == 0xFF
+        assert abs(ulaw_decode_sample(0xFF)) <= 8
+
+    def test_sign_symmetry(self):
+        for value in (100, 1000, 8000, 30000):
+            pos = ulaw_decode_sample(ulaw_encode_sample(value))
+            neg = ulaw_decode_sample(ulaw_encode_sample(-value))
+            assert pos == -neg
+
+    def test_decode_encode_identity_on_codewords(self):
+        # Every µ-law codeword survives decode→encode exactly, except
+        # 0x7F ("negative zero"), which decodes to 0 and canonically
+        # re-encodes as positive zero 0xFF — the standard ±0 collapse.
+        for byte in range(256):
+            decoded = ulaw_decode_sample(byte)
+            reencoded = ulaw_encode_sample(decoded)
+            if byte == 0x7F:
+                assert reencoded == 0xFF
+            else:
+                assert reencoded == byte, byte
+
+    def test_clipping(self):
+        assert ulaw_encode_sample(32767) == ulaw_encode_sample(32700)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ulaw_encode_sample(40000)
+        with pytest.raises(ValueError):
+            ulaw_decode_sample(300)
+
+    def test_companding_is_monotone(self):
+        decoded = [ulaw_decode_sample(ulaw_encode_sample(v))
+                   for v in range(-32000, 32001, 500)]
+        assert decoded == sorted(decoded)
+
+
+class TestFrames:
+    def test_encode_decode_roundtrip_snr(self):
+        # G.711 achieves > 30 dB SQNR on speech-level sine input.
+        pcm = [int(16000 * math.sin(2 * math.pi * 440 * i / 8000))
+               for i in range(160)]
+        decoded = ulaw_decode(ulaw_encode(pcm))
+        assert signal_to_noise_db(pcm, decoded) > 30.0
+
+    def test_tone_frame_size(self):
+        assert len(tone_frame(440.0)) == 160
+
+    def test_tone_frames_continuous(self):
+        # Consecutive frames continue the same sine (no phase reset).
+        f0 = ulaw_decode(tone_frame(440.0, frame_index=0))
+        f1 = ulaw_decode(tone_frame(440.0, frame_index=1))
+        joined = f0 + f1
+        reference = [int(0.5 * 32000
+                         * math.sin(2 * math.pi * 440 * i / 8000))
+                     for i in range(320)]
+        assert signal_to_noise_db(reference, joined) > 30.0
+
+    def test_tone_amplitude_validation(self):
+        with pytest.raises(ValueError):
+            tone_frame(440.0, amplitude=1.5)
+
+    def test_mix_linear_saturates(self):
+        loud = [30000] * 4
+        assert mix_linear([loud, loud]) == [32767] * 4
+        assert mix_linear([[-30000] * 4, [-30000] * 4]) == [-32768] * 4
+
+    def test_mix_validation(self):
+        with pytest.raises(ValueError):
+            mix_linear([])
+        with pytest.raises(ValueError):
+            mix_linear([[1], [1, 2]])
+
+    def test_snr_validation(self):
+        with pytest.raises(ValueError):
+            signal_to_noise_db([], [])
+        with pytest.raises(ValueError):
+            signal_to_noise_db([1], [1, 2])
+
+    def test_snr_perfect(self):
+        assert signal_to_noise_db([5, 5], [5, 5]) == float("inf")
+
+
+class TestAudioThroughHerdCall:
+    def test_tone_survives_an_anonymous_call(self):
+        """Real µ-law audio through the full encrypted call path."""
+        from repro.simulation.testbed import build_testbed
+        bed = build_testbed()
+        bed.add_client("alice", "zone-EU")
+        bed.add_client("bob", "zone-NA")
+        bed.ready_for_calls("alice")
+        bed.ready_for_calls("bob")
+        session = bed.call("alice", "bob")
+        reference = []
+        received = []
+        for i in range(10):
+            frame = tone_frame(440.0, frame_index=i)
+            reference.extend(ulaw_decode(frame))
+            out = session.send_voice("caller_to_callee", frame)
+            received.extend(ulaw_decode(out))
+        assert received == reference  # bit-exact through the network
+
+
+@given(sample=st.integers(min_value=-32768, max_value=32767))
+def test_roundtrip_error_bounded_property(sample):
+    """µ-law quantization error is bounded by the segment step size
+    (≤ 1/16 of the magnitude + bias, coarsest at the top segment)."""
+    decoded = ulaw_decode_sample(ulaw_encode_sample(sample))
+    clipped = max(-32635, min(32635, sample))
+    assert abs(decoded - clipped) <= max(16, abs(clipped) / 16 + 64)

@@ -1,0 +1,142 @@
+"""Tests for the group-call extension (§5 future work)."""
+
+import pytest
+
+from repro.core.groupcall import GroupCall, mix_pcm
+from repro.core.rendezvous import CallError
+
+from conftest import build_testbed
+
+
+@pytest.fixture
+def conference_bed():
+    bed = build_testbed(zone_specs=[("zone-EU", "dc-eu", 2),
+                                    ("zone-NA", "dc-na", 2),
+                                    ("zone-SA", "dc-sa", 2)])
+    for name, zone in (("host", "zone-EU"), ("bob", "zone-NA"),
+                       ("carol", "zone-SA"), ("dave", "zone-NA")):
+        bed.add_client(name, zone)
+        bed.ready_for_calls(name)
+    return bed
+
+
+class TestMixPcm:
+    def test_identity_for_single_frame(self):
+        frame = bytes(range(160, 0, -1)) + b"\x80" * 0
+        assert mix_pcm([frame]) == frame
+
+    def test_silence_plus_voice_is_voice(self):
+        silence = bytes([128]) * 8
+        voice = bytes([128, 130, 126, 140, 116, 128, 129, 127])
+        assert mix_pcm([silence, voice]) == voice
+
+    def test_saturation(self):
+        loud = bytes([255]) * 4
+        assert mix_pcm([loud, loud]) == bytes([255]) * 4
+        quiet = bytes([0]) * 4
+        assert mix_pcm([quiet, quiet]) == bytes([0]) * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mix_pcm([])
+        with pytest.raises(ValueError):
+            mix_pcm([b"\x80" * 4, b"\x80" * 5])
+        with pytest.raises(ValueError):
+            mix_pcm([b"\x80" * 4], sample_width=2)
+
+
+class TestGroupCall:
+    def _conference(self, bed, invitees=("bob", "carol")):
+        call = GroupCall(bed.service, bed.clients["host"])
+        for name in invitees:
+            call.invite(bed.clients[name])
+        return call
+
+    def test_invite_builds_legs(self, conference_bed):
+        call = self._conference(conference_bed)
+        assert call.participants == ["bob", "carol"]
+        assert call.size == 3
+        assert all(leg.session.established
+                   for leg in call.legs.values())
+
+    def test_double_invite_rejected(self, conference_bed):
+        call = self._conference(conference_bed)
+        with pytest.raises(CallError):
+            call.invite(conference_bed.clients["bob"])
+
+    def test_host_cannot_invite_self(self, conference_bed):
+        call = self._conference(conference_bed, invitees=())
+        with pytest.raises(CallError):
+            call.invite(conference_bed.clients["host"])
+
+    def test_host_needs_circuit(self, conference_bed):
+        fresh = conference_bed.add_client("eve", "zone-EU")
+        with pytest.raises(CallError):
+            GroupCall(conference_bed.service, fresh)
+
+    def test_audio_round_distributes_mixes(self, conference_bed):
+        call = self._conference(conference_bed)
+        bob_frame = bytes([140]) * 160
+        host_frame = bytes([120]) * 160
+        out = call.round({"bob": bob_frame}, host_frame=host_frame)
+        # Carol hears bob + host mixed; bob hears only the host.
+        assert out["carol"] == mix_pcm([bob_frame, host_frame])
+        assert out["bob"] == host_frame
+        assert out["host"] == bob_frame
+
+    def test_speaker_never_hears_self(self, conference_bed):
+        call = self._conference(conference_bed)
+        frame = bytes([200]) * 160
+        out = call.round({"bob": frame})
+        assert out["bob"] == bytes([128]) * 160  # silence
+
+    def test_three_speakers(self, conference_bed):
+        call = self._conference(conference_bed,
+                                invitees=("bob", "carol", "dave"))
+        frames = {"bob": bytes([138]) * 160,
+                  "carol": bytes([120]) * 160,
+                  "dave": bytes([131]) * 160}
+        out = call.round(frames)
+        assert out["bob"] == mix_pcm([frames["carol"], frames["dave"]])
+        assert out["host"] == mix_pcm(list(frames.values()))
+
+    def test_unknown_speaker_rejected(self, conference_bed):
+        call = self._conference(conference_bed)
+        with pytest.raises(KeyError):
+            call.round({"mallory": bytes([128]) * 160})
+
+    def test_wrong_frame_size_rejected(self, conference_bed):
+        call = self._conference(conference_bed)
+        with pytest.raises(ValueError):
+            call.round({"bob": b"\x80" * 10})
+
+    def test_drop_participant(self, conference_bed):
+        call = self._conference(conference_bed)
+        call.drop("bob")
+        assert call.participants == ["carol"]
+        with pytest.raises(KeyError):
+            call.drop("bob")
+
+    def test_rate_multiple_scales_with_legs(self, conference_bed):
+        call = self._conference(conference_bed,
+                                invitees=("bob", "carol", "dave"))
+        assert call.required_rate_multiple() == 3
+
+    def test_legs_are_zone_anonymous(self, conference_bed):
+        """Each invitee's leg reveals to the invitee's mixes only the
+        host's rendezvous mix, never the other participants."""
+        call = self._conference(conference_bed)
+        bed = conference_bed
+        bob = bed.clients["bob"]
+        rdv = bed.mixes[bob.circuit.rendezvous_mix]
+        state = rdv.circuit_state(bob.circuit.circuit_id)
+        for other in ("carol", "dave", "host"):
+            assert other not in (state.prev_hop or "")
+            assert other not in (state.next_hop or "")
+
+    def test_received_history_tracked(self, conference_bed):
+        call = self._conference(conference_bed)
+        call.round({"bob": bytes([150]) * 160})
+        call.round({"carol": bytes([110]) * 160})
+        assert len(call.legs["bob"].received) == 2
+        assert len(call.legs["carol"].received) == 2

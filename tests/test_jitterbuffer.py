@@ -1,0 +1,106 @@
+"""Tests for the playout-buffer model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.voip.jitterbuffer import (
+    PlayoutBuffer,
+    optimal_buffer_ms,
+    quality_with_buffer,
+)
+
+
+class TestPlayoutBuffer:
+    def test_constant_delays_never_late(self):
+        result = PlayoutBuffer(0.0).replay([50.0] * 100)
+        assert result.late_loss == 0.0
+        assert result.playout_delay_ms == 50.0
+
+    def test_jitter_beyond_buffer_is_late(self):
+        delays = [50.0, 50.0, 90.0, 50.0]
+        result = PlayoutBuffer(20.0).replay(delays)
+        assert result.late_frames == 1
+        assert result.late_loss == 0.25
+
+    def test_bigger_buffer_fewer_late(self):
+        rng = random.Random(1)
+        delays = [50.0 + rng.expovariate(1 / 15.0) for _ in range(500)]
+        small = PlayoutBuffer(10.0).replay(delays)
+        big = PlayoutBuffer(80.0).replay(delays)
+        assert big.late_loss < small.late_loss
+
+    def test_empty_series(self):
+        result = PlayoutBuffer(20.0).replay([])
+        assert result.frames == 0
+        assert result.late_loss == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlayoutBuffer(-1.0)
+        with pytest.raises(ValueError):
+            PlayoutBuffer(10.0).replay([5.0, -1.0])
+
+    def test_base_is_minimum(self):
+        result = PlayoutBuffer(0.0).replay([70.0, 60.0, 80.0])
+        assert result.base_delay_ms == 60.0
+
+
+class TestQualityWithBuffer:
+    def test_clean_path_high_quality(self):
+        q = quality_with_buffer([45.0] * 100, buffer_ms=20.0)
+        assert q.band in ("high", "perfect")
+
+    def test_network_loss_combines_with_late_loss(self):
+        q_clean = quality_with_buffer([50.0] * 100, 20.0,
+                                      network_loss=0.0)
+        q_lossy = quality_with_buffer([50.0] * 100, 20.0,
+                                      network_loss=0.05)
+        assert q_lossy.r < q_clean.r
+
+    def test_buffer_tradeoff_visible(self):
+        rng = random.Random(2)
+        delays = [50.0 + rng.expovariate(1 / 25.0) for _ in range(500)]
+        tiny = quality_with_buffer(delays, 0.0)     # heavy late loss
+        huge = quality_with_buffer(delays, 400.0)   # heavy delay
+        best_buffer, best = optimal_buffer_ms(delays)
+        assert best.r >= tiny.r
+        assert best.r >= huge.r
+        assert 0.0 < best_buffer < 400.0
+
+    def test_optimal_buffer_zero_for_constant_delay(self):
+        buffer_ms, quality = optimal_buffer_ms([60.0] * 50)
+        assert buffer_ms == 0.0
+        assert quality.band in ("high", "perfect")
+
+    def test_optimal_requires_samples(self):
+        with pytest.raises(ValueError):
+            optimal_buffer_ms([])
+
+    def test_chaffed_path_needs_small_buffer(self):
+        """Herd's clocked hops bound jitter to < one frame per hop, so
+        a ~1-frame buffer suffices — the justification for the 20 ms
+        buffer used in the Fig. 7 bench."""
+        from repro.simulation.wired import WiredHerd
+        net = WiredHerd({"zone-EU": "dc-eu", "zone-NA": "dc-na"})
+        net.add_client("alice", "zone-EU")
+        net.add_client("bob", "zone-NA")
+        call = net.call("alice", "bob")
+        for i in range(60):
+            call.send_voice("caller_to_callee", bytes([i]) * 160,
+                            at=i * 0.02)
+        net.loop.run(until=10.0)
+        buffer_ms, quality = optimal_buffer_ms(call.owd_ms("callee"))
+        assert buffer_ms <= 40.0
+        assert quality.band in ("medium", "high", "perfect")
+
+
+@settings(max_examples=30, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=500.0),
+                       min_size=1, max_size=100),
+       buffer_ms=st.floats(min_value=0.0, max_value=200.0))
+def test_late_loss_bounds_property(delays, buffer_ms):
+    result = PlayoutBuffer(buffer_ms).replay(delays)
+    assert 0.0 <= result.late_loss < 1.0  # the min-delay frame is never late
+    assert result.playout_delay_ms >= min(delays)

@@ -1,0 +1,162 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.engine import EventLoop
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(3.0, lambda: order.append("c"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_schedule_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append(1))
+        loop.schedule(1.0, lambda: order.append(2))
+        loop.schedule(1.0, lambda: order.append(3))
+        loop.run()
+        assert order == [1, 2, 3]
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(2.5, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [2.5]
+        assert loop.now == 2.5
+
+    def test_schedule_at_absolute_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(4.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [4.0]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: loop.schedule(
+            1.0, lambda: seen.append(loop.now)))
+        loop.run()
+        assert seen == [2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, lambda: fired.append(True))
+        event.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        loop = EventLoop()
+        e = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        assert loop.pending() == 2
+        e.cancel()
+        assert loop.pending() == 1
+
+
+class TestRunLimits:
+    def test_run_until_stops_clock_at_bound(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        loop.run(until=3.0)
+        assert fired == [1]
+        assert loop.now == 3.0
+
+    def test_run_until_then_resume(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        loop.run(until=3.0)
+        loop.run()
+        assert fired == [1, 5]
+
+    def test_max_events(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(10):
+            loop.schedule(float(i + 1), lambda i=i: fired.append(i))
+        loop.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_run_until_advances_clock_with_empty_queue(self):
+        loop = EventLoop()
+        loop.run(until=10.0)
+        assert loop.now == 10.0
+
+
+class TestPeriodic:
+    def test_periodic_fires_at_interval(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule_periodic(1.0, lambda: times.append(loop.now))
+        loop.run(until=3.5)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_periodic_with_start_delay(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule_periodic(2.0, lambda: times.append(loop.now),
+                               start_delay=0.5)
+        loop.run(until=5.0)
+        assert times == [0.5, 2.5, 4.5]
+
+    def test_periodic_cancel_stops_recurrence(self):
+        loop = EventLoop()
+        times = []
+        handle = loop.schedule_periodic(1.0, lambda: times.append(loop.now))
+        loop.run(until=2.5)
+        handle.cancel()
+        loop.run(until=10.0)
+        assert times == [1.0, 2.0]
+
+    def test_bad_interval_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.schedule_periodic(0.0, lambda: None)
+
+
+class TestDeterminism:
+    def test_same_seed_same_randoms(self):
+        a, b = EventLoop(seed=7), EventLoop(seed=7)
+        assert [a.rng.random() for _ in range(5)] == \
+               [b.rng.random() for _ in range(5)]
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=50))
+def test_events_always_processed_in_nondecreasing_time(delays):
+    loop = EventLoop()
+    seen = []
+    for d in delays:
+        loop.schedule(d, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)

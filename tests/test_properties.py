@@ -1,0 +1,178 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each property here is a system-level invariant spanning modules, as
+opposed to the per-module properties in the individual test files.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocation import assign_clients_to_channels
+from repro.core.chaffing import ConstantRateChaffer, RateController
+from repro.core.channel import ChannelManifest, decode_manifest, \
+    encode_manifest
+from repro.core.network_coding import (
+    ChaffPredictor,
+    decode_round,
+    make_chaff_packet,
+    make_payload_packet,
+    xor_bytes,
+)
+from repro.crypto.keys import SessionKey
+from repro.crypto.onion import (
+    CELL_PAYLOAD,
+    HopKeys,
+    OnionCircuitKeys,
+    unwrap_backward,
+    unwrap_onion,
+    wrap_backward,
+    wrap_onion,
+)
+from repro.voip.fec import FecDecoder, FecEncoder, effective_loss
+from repro.workload.cdr import CallRecord, CallTrace
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_clients=st.integers(1, 100), n_channels=st.integers(1, 30),
+       k=st.integers(1, 6), seed=st.integers(0, 500))
+def test_static_assignment_always_balanced(n_clients, n_channels, k,
+                                           seed):
+    """Greedy least-occupied assignment keeps channel occupancy within
+    one attachment of perfectly balanced, for every configuration."""
+    k = min(k, n_channels)
+    assignment = assign_clients_to_channels(n_clients, n_channels, k,
+                                            random.Random(seed))
+    occupancy = assignment.occupancy()
+    assert max(occupancy) - min(occupancy) <= 1
+    assert sum(occupancy) == n_clients * k
+
+
+@settings(max_examples=25, deadline=None)
+@given(loads=st.lists(st.floats(min_value=0, max_value=10_000),
+                      min_size=1, max_size=50))
+def test_rate_controller_always_at_least_min_rate(loads):
+    """Whatever the load pattern, the provisioned rate never drops
+    below the minimum (idle zones still carry chaff) and is always an
+    integer number of call units."""
+    controller = RateController(min_rate=2, initial_rate=2)
+    for epoch, load in enumerate(loads):
+        rate = controller.on_epoch(epoch, load)
+        assert rate >= 2
+        assert isinstance(rate, int)
+
+
+@settings(max_examples=25, deadline=None)
+@given(payload_rounds=st.lists(st.booleans(), min_size=1, max_size=200))
+def test_chaffer_emission_is_schedule_invariant(payload_rounds):
+    """The chaffer emits exactly one packet per tick regardless of the
+    payload arrival pattern — the core of invariant I6."""
+    chaffer = ConstantRateChaffer()
+    for has_payload in payload_rounds:
+        if has_payload:
+            chaffer.enqueue_payload(b"cell")
+        slots = chaffer.tick()
+        assert len(slots) == 1
+    assert chaffer.payload_sent + chaffer.chaff_sent \
+        == len(payload_rounds)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000),
+       payload=st.binary(min_size=1, max_size=CELL_PAYLOAD),
+       n_hops=st.integers(1, 4), seq=st.integers(0, 2 ** 40))
+def test_forward_backward_symmetry(seed, payload, n_hops, seq):
+    """Any payload survives the full forward AND backward path of any
+    circuit at any sequence number."""
+    rng = random.Random(seed)
+    hops = [HopKeys.from_shared_secret(
+        rng.getrandbits(256).to_bytes(32, "little"), context=bytes([i]))
+        for i in range(n_hops)]
+    circuit = OnionCircuitKeys(hops)
+    assert unwrap_onion(circuit, wrap_onion(circuit, payload, seq),
+                        seq) == payload
+    assert unwrap_backward(circuit, wrap_backward(circuit, payload,
+                                                  seq), seq) == payload
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), n_idle=st.integers(0, 6),
+       payload=st.binary(min_size=1, max_size=64),
+       signal_mask=st.integers(0, 127))
+def test_channel_round_end_to_end_property(seed, n_idle, payload,
+                                           signal_mask):
+    """A full channel round (packets + manifests through XOR and
+    manifest decryption) recovers the active payload and every signal
+    bit, for any membership and signal pattern."""
+    rng = random.Random(seed)
+    n = n_idle + 1
+    keys = {i: SessionKey.generate(rng) for i in range(n)}
+    predictor = ChaffPredictor(keys)
+    active = rng.randrange(n)
+    packets, raw_manifests = [], []
+    for i in range(n):
+        seq = seed % 1000 + i
+        signal = bool((signal_mask >> i) & 1)
+        if i == active:
+            packets.append(make_payload_packet(keys[i], seq, payload))
+        else:
+            packets.append(make_chaff_packet(keys[i], seq))
+        manifest = ChannelManifest(client_id=i, sequence=seq,
+                                   signal=signal)
+        raw_manifests.append(encode_manifest(manifest, keys[i], slot=i))
+    entries = []
+    for slot, raw in enumerate(raw_manifests):
+        decoded = decode_manifest(raw, keys[slot], slot,
+                                  expected_sequence=seed % 1000 + slot)
+        entries.append((decoded.client_id, decoded.sequence,
+                        decoded.signal))
+    got_active, got_payload, signalers = decode_round(
+        xor_bytes(*packets), entries, predictor, active_client=active)
+    assert got_active == active
+    assert got_payload[:len(payload)] == payload
+    assert signalers == [i for i in range(n) if (signal_mask >> i) & 1]
+
+
+@settings(max_examples=20, deadline=None)
+@given(k=st.integers(1, 8), loss_permille=st.integers(0, 300),
+       seed=st.integers(0, 500))
+def test_fec_simulation_matches_closed_form(k, loss_permille, seed):
+    """Monte-Carlo FEC residual loss agrees with the analytic
+    effective_loss within sampling error."""
+    rng = random.Random(seed)
+    p = loss_permille / 1000.0
+    enc = FecEncoder(k)
+    dec = FecDecoder(k)
+    n_groups = 400
+    sent = 0
+    for i in range(k * n_groups):
+        for pkt in enc.encode(bytes([i % 256]) * 8):
+            if not pkt.is_parity:
+                sent += 1
+            if rng.random() >= p:
+                dec.receive(pkt)
+    for g in range(n_groups):
+        dec.flush_group(g)
+    observed = dec.unrecoverable / sent
+    expected = effective_loss(p, k)
+    assert observed == pytest.approx(expected, abs=0.03)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 50), st.integers(0, 50),
+              st.floats(min_value=0, max_value=1e5),
+              st.floats(min_value=0, max_value=1e4)),
+    min_size=0, max_size=60))
+def test_trace_concurrency_never_exceeds_call_count(entries):
+    """Basic sanity across CallTrace analytics for arbitrary traces."""
+    records = [CallRecord(a, b + 51, start, duration)
+               for a, b, start, duration in entries]
+    trace = CallTrace(records)
+    assert trace.peak_concurrency() <= len(trace)
+    if records:
+        lo, hi = trace.span
+        assert lo <= hi
+        total = trace.total_call_seconds()
+        assert total == pytest.approx(sum(r.duration for r in records))

@@ -1,0 +1,54 @@
+"""Tests for the programmatic evaluation report."""
+
+import pytest
+
+from repro.analysis.report import (
+    EvaluationReport,
+    ExperimentRow,
+    run_evaluation,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_evaluation(n_users=2000, seed=6)
+
+
+class TestRunEvaluation:
+    def test_all_shape_criteria_hold(self, report):
+        assert report.all_shapes_hold, report.failures()
+
+    def test_covers_expected_experiments(self, report):
+        experiments = {row.experiment for row in report.rows}
+        assert experiments == {"E1", "E3", "E5", "E6", "E7"}
+
+    def test_rows_have_both_values(self, report):
+        for row in report.rows:
+            assert row.paper
+            assert row.measured
+
+    def test_markdown_rendering(self, report):
+        md = report.to_markdown()
+        assert md.startswith("| experiment |")
+        assert "✓" in md
+        assert len(md.splitlines()) == len(report.rows) + 2
+
+    def test_custom_trace_accepted(self):
+        from repro.workload.cdr import CallRecord, CallTrace
+        trace = CallTrace([CallRecord(0, 1, float(i * 100), 30.0)
+                           for i in range(50)])
+        result = run_evaluation(trace=trace, n_users=100)
+        e1 = next(r for r in result.rows if r.experiment == "E1")
+        assert e1.shape_ok  # distinct times → fully traced
+
+
+class TestReportContainer:
+    def test_failures_listed(self):
+        report = EvaluationReport()
+        report.add("X", "m", "1", "2", False)
+        report.add("Y", "m", "1", "1", True)
+        assert not report.all_shapes_hold
+        assert [r.experiment for r in report.failures()] == ["X"]
+
+    def test_empty_report_holds(self):
+        assert EvaluationReport().all_shapes_hold

@@ -1,0 +1,239 @@
+"""Tests for the trace-driven and packet-level simulations."""
+
+import pytest
+
+from repro.simulation.deployment import (
+    DeploymentConfig,
+    herd_extra_latency_ms,
+    measure_pair_latencies,
+)
+from repro.simulation.herd_sim import (
+    interzone_traffic_matrix,
+    provision_zone,
+    rate_epoch_series,
+)
+from repro.simulation.spsim import (
+    BlockingResult,
+    SPSimConfig,
+    blocking_sweep,
+    simulate_blocking,
+)
+from repro.workload.cdr import CallRecord, CallTrace
+from repro.workload.generator import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def day_trace():
+    cfg = SyntheticTraceConfig(n_users=2000, days=1, seed=17,
+                               max_degree=100)
+    return generate_trace(cfg)
+
+
+class TestSPSimConfig:
+    def test_channel_count(self):
+        cfg = SPSimConfig(n_clients=100, clients_per_channel=10)
+        assert cfg.n_channels == 10
+
+    def test_channel_count_at_least_k(self):
+        cfg = SPSimConfig(n_clients=4, clients_per_channel=10, k=3)
+        assert cfg.n_channels == 3
+
+
+class TestBlockingSimulation:
+    def test_low_load_low_blocking(self, day_trace):
+        cfg = SPSimConfig(n_clients=2000, clients_per_channel=5, k=2,
+                          seed=1)
+        result = simulate_blocking(day_trace, cfg)
+        assert result.calls_attempted > 100
+        assert result.blocking_rate < 0.02
+
+    def test_tighter_packing_blocks_more(self, day_trace):
+        loose = simulate_blocking(day_trace, SPSimConfig(
+            n_clients=2000, clients_per_channel=5, k=2))
+        tight = simulate_blocking(day_trace, SPSimConfig(
+            n_clients=2000, clients_per_channel=50, k=2))
+        assert tight.blocking_rate >= loose.blocking_rate
+
+    def test_k3_beats_k2(self, day_trace):
+        k2 = simulate_blocking(day_trace, SPSimConfig(
+            n_clients=2000, clients_per_channel=50, k=2))
+        k3 = simulate_blocking(day_trace, SPSimConfig(
+            n_clients=2000, clients_per_channel=50, k=3))
+        assert k3.blocking_rate <= k2.blocking_rate
+
+    def test_offered_savings(self):
+        cfg = SPSimConfig(n_clients=1000, clients_per_channel=10)
+        result = BlockingResult(cfg, 0, 0, 0)
+        assert result.offered_savings == pytest.approx(0.9)
+
+    def test_blocking_rate_zero_when_no_calls(self):
+        cfg = SPSimConfig(n_clients=10, clients_per_channel=2)
+        result = simulate_blocking(CallTrace([]), cfg)
+        assert result.blocking_rate == 0.0
+
+    def test_ends_release_channels(self):
+        # Serial calls between the same pair never block even with one
+        # channel each.
+        records = [CallRecord(0, 1, i * 200.0, 60.0) for i in range(10)]
+        cfg = SPSimConfig(n_clients=2, clients_per_channel=1, k=1,
+                          bin_width=60.0)
+        result = simulate_blocking(CallTrace(records), cfg)
+        assert result.calls_blocked == 0
+
+    def test_overlap_blocks_without_capacity(self):
+        # Two simultaneous calls, but the four users share 2 channels
+        # per side pool of... n_clients=4, cpc=4 → 1 channel → the
+        # second call must block.
+        records = [CallRecord(0, 1, 0.0, 600.0),
+                   CallRecord(2, 3, 10.0, 600.0)]
+        cfg = SPSimConfig(n_clients=4, clients_per_channel=4, k=1,
+                          bin_width=60.0)
+        result = simulate_blocking(CallTrace(records), cfg)
+        assert result.calls_blocked == 1
+
+    def test_first_fit_ablation_runs(self, day_trace):
+        cfg = SPSimConfig(n_clients=2000, clients_per_channel=20, k=2,
+                          matcher="first-fit")
+        result = simulate_blocking(day_trace, cfg)
+        assert 0.0 <= result.blocking_rate <= 1.0
+
+    def test_sweep_shapes(self, day_trace):
+        results = blocking_sweep(day_trace, n_clients=2000,
+                                 clients_per_channel_values=(5, 50),
+                                 k_values=(2, 3))
+        assert set(results) == {(5, 2), (5, 3), (50, 2), (50, 3)}
+        # The paper's two headline shapes:
+        assert results[(5, 2)].blocking_rate <= \
+            results[(50, 2)].blocking_rate + 1e-9
+        assert results[(50, 3)].blocking_rate <= \
+            results[(50, 2)].blocking_rate + 1e-9
+
+
+class TestProvisioning:
+    def test_channels_cover_peak(self, day_trace):
+        result = provision_zone(day_trace, n_users=2000)
+        assert result.n_channels >= result.peak_calls
+        assert result.n_sps >= 1
+        assert result.n_mixes >= 1
+
+    def test_duty_cycle_reported(self, day_trace):
+        result = provision_zone(day_trace, n_users=2000)
+        assert 0.0 < result.peak_duty_cycle < 0.05
+
+    def test_offload_factor_large(self, day_trace):
+        # §3.6: "n/a is likely to be large (above 10)".
+        result = provision_zone(day_trace, n_users=2000)
+        assert result.offload_factor >= 10
+
+    def test_validation(self, day_trace):
+        with pytest.raises(ValueError):
+            provision_zone(day_trace, n_users=0)
+
+
+class TestRateEpochs:
+    def test_rates_cover_load(self, day_trace):
+        series = rate_epoch_series(day_trace, epoch_seconds=3600.0)
+        assert len(series) >= 24
+        # After the first adjustment, the provisioned rate covers the
+        # epoch's observed peak in all but transition epochs.
+        violations = sum(1 for _, load, rate in series[1:]
+                         if load > rate)
+        assert violations <= len(series) * 0.2
+
+    def test_rate_changes_infrequent(self, day_trace):
+        from repro.core.chaffing import RateController
+        controller = RateController()
+        rate_epoch_series(day_trace, epoch_seconds=3600.0,
+                          controller=controller)
+        # "Changes take place at time scales of hours": a day-long
+        # trace must see far fewer changes than epochs.
+        assert controller.adjustments <= 12
+
+    def test_diurnal_rates_differ(self, day_trace):
+        series = rate_epoch_series(day_trace, epoch_seconds=3600.0)
+        rates = [rate for _, _, rate in series]
+        assert max(rates) > min(rates)
+
+
+class TestInterzoneMatrix:
+    def test_matrix_shape_and_total(self, day_trace):
+        matrix = interzone_traffic_matrix(day_trace, 4)
+        assert matrix.shape == (4, 4)
+        assert matrix.sum() == len(day_trace)
+
+    def test_interzone_fraction_honoured(self, day_trace):
+        matrix = interzone_traffic_matrix(day_trace, 4,
+                                          interzone_fraction=0.5)
+        off_diag = matrix.sum() - sum(matrix[i, i] for i in range(4))
+        assert off_diag / matrix.sum() == pytest.approx(0.5, abs=0.05)
+
+    def test_single_zone(self, day_trace):
+        matrix = interzone_traffic_matrix(day_trace, 1)
+        assert matrix[0, 0] == len(day_trace)
+
+    def test_validation(self, day_trace):
+        with pytest.raises(ValueError):
+            interzone_traffic_matrix(day_trace, 0)
+
+
+class TestDeployment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        cfg = DeploymentConfig(n_probe_packets=150)
+        return measure_pair_latencies(cfg)
+
+    def test_all_pairs_measured(self, results):
+        pairs = {(s, d) for s, d, _ in results}
+        assert len(pairs) == 12  # 4 regions, ordered pairs
+
+    def test_herd_slower_than_direct(self, results):
+        for (s, d, sys), m in results.items():
+            if sys != "herd":
+                continue
+            drac = results[(s, d, "drac")]
+            assert m.mean_owd_ms > drac.mean_owd_ms
+
+    def test_herd_extra_latency_modest(self, results):
+        # Fig. 7: "approximately 100ms" over direct.  Accept 30–120 ms.
+        extra = herd_extra_latency_ms(results)
+        assert 30.0 < extra < 120.0
+
+    def test_au_pairs_worst(self, results):
+        au = [m.mean_owd_ms for (s, d, sys), m in results.items()
+              if sys == "herd" and "AU" in (s, d)]
+        rest = [m.mean_owd_ms for (s, d, sys), m in results.items()
+                if sys == "herd" and "AU" not in (s, d)]
+        assert min(au) > max(rest) - 30.0
+
+    def test_quality_drops_at_most_one_band(self, results):
+        order = ["poor", "low", "medium", "high", "perfect"]
+        for (s, d, sys), m in results.items():
+            if sys != "herd":
+                continue
+            drac = results[(s, d, "drac")]
+            drop = (order.index(drac.quality().band)
+                    - order.index(m.quality().band))
+            assert drop <= 1, (s, d)
+
+    def test_non_au_pairs_medium_or_better(self, results):
+        for (s, d, sys), m in results.items():
+            if sys == "herd" and "AU" not in (s, d):
+                assert m.quality().band in ("medium", "high", "perfect")
+
+    def test_loss_stays_low(self, results):
+        # §4.3.3: "the packet loss never exceeded a few percents".
+        for m in results.values():
+            assert m.loss_fraction < 0.05
+
+    def test_with_sps_adds_two_hops_latency(self):
+        cfg = DeploymentConfig(n_probe_packets=100, regions=("EU", "NA"))
+        plain = measure_pair_latencies(cfg, systems=("herd",))
+        cfg_sp = DeploymentConfig(n_probe_packets=100, with_sps=True,
+                                  regions=("EU", "NA"))
+        with_sp = measure_pair_latencies(cfg_sp, systems=("herd",))
+        assert with_sp[("EU", "NA", "herd")].mean_owd_ms > \
+            plain[("EU", "NA", "herd")].mean_owd_ms
+
+    def test_sink_percentiles(self, results):
+        m = results[("EU", "NA", "herd")]
+        assert m.p95_owd_ms >= m.mean_owd_ms

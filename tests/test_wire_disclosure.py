@@ -1,0 +1,178 @@
+"""Tests for the wire encodings and the statistical disclosure attack."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.disclosure import (
+    herd_sda_rounds,
+    sda_rounds_from_trace,
+    statistical_disclosure,
+)
+from repro.core.circuit import CreateReply, CreateRequest
+from repro.core.wire import (
+    CallSetup,
+    JoinRequest,
+    JoinResponse,
+    RendezvousRegister,
+    WireError,
+    decode_call_setup,
+    decode_create,
+    decode_created,
+    decode_join_request,
+    decode_join_response,
+    decode_rendezvous_register,
+    encode_call_setup,
+    encode_create,
+    encode_created,
+    encode_join_request,
+    encode_join_response,
+    encode_rendezvous_register,
+)
+from repro.workload.cdr import CallRecord, CallTrace
+
+
+class TestCreateEncoding:
+    def test_roundtrip(self):
+        req = CreateRequest(42, b"\x11" * 32)
+        assert decode_create(encode_create(req)) == req
+
+    def test_created_roundtrip(self):
+        reply = CreateReply(42, b"\x22" * 32, b"\x33" * 16)
+        assert decode_created(encode_created(reply)) == reply
+
+    def test_wrong_type_rejected(self):
+        req = CreateRequest(1, b"\x00" * 32)
+        with pytest.raises(WireError):
+            decode_created(encode_create(req))
+
+    def test_truncation_rejected(self):
+        data = encode_create(CreateRequest(1, b"\x00" * 32))
+        with pytest.raises(WireError):
+            decode_create(data[:-1])
+
+    def test_trailing_bytes_rejected(self):
+        data = encode_create(CreateRequest(1, b"\x00" * 32))
+        with pytest.raises(WireError):
+            decode_create(data + b"\x00")
+
+    def test_bad_key_length_rejected(self):
+        req = CreateRequest(1, b"\x00" * 16)
+        with pytest.raises(WireError):
+            decode_create(encode_create(req))
+
+
+class TestJoinEncoding:
+    def test_request_roundtrip(self):
+        req = JoinRequest("client-αβ", b"\x44" * 32)
+        assert decode_join_request(encode_join_request(req)) == req
+
+    def test_response_roundtrip_direct(self):
+        resp = JoinResponse(7, b"\x55" * 32)
+        assert decode_join_response(encode_join_response(resp)) == resp
+
+    def test_response_roundtrip_with_attachments(self):
+        resp = JoinResponse(7, b"\x55" * 32,
+                            (("sp-0", 3, 1), ("sp-1", 9, 0)))
+        assert decode_join_response(encode_join_response(resp)) == resp
+
+    def test_bad_mix_key_rejected(self):
+        resp = JoinResponse(7, b"\x55" * 8)
+        with pytest.raises(WireError):
+            decode_join_response(encode_join_response(resp))
+
+
+class TestRendezvousAndCallSetup:
+    def test_register_roundtrip(self):
+        msg = RendezvousRegister(b"\x66" * 32, "zone-EU/mix-1")
+        assert decode_rendezvous_register(
+            encode_rendezvous_register(msg)) == msg
+
+    def test_invite_roundtrip(self):
+        msg = CallSetup(False, 99, b"\x77" * 32)
+        assert decode_call_setup(encode_call_setup(msg)) == msg
+
+    def test_accept_roundtrip(self):
+        msg = CallSetup(True, 99, b"\x77" * 32)
+        out = decode_call_setup(encode_call_setup(msg))
+        assert out.is_accept
+
+    def test_garbage_rejected(self):
+        with pytest.raises(WireError):
+            decode_call_setup(b"\xff\x00\x00")
+
+
+@settings(max_examples=30, deadline=None)
+@given(circuit_id=st.integers(0, 2 ** 64 - 1),
+       key=st.binary(min_size=32, max_size=32))
+def test_create_roundtrip_property(circuit_id, key):
+    req = CreateRequest(circuit_id, key)
+    assert decode_create(encode_create(req)) == req
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.binary(max_size=64))
+def test_decoders_never_crash_on_garbage(data):
+    for decoder in (decode_create, decode_created, decode_join_request,
+                    decode_join_response, decode_rendezvous_register,
+                    decode_call_setup):
+        try:
+            decoder(data)
+        except (WireError, UnicodeDecodeError):
+            pass  # rejection is the expected outcome
+
+
+class TestStatisticalDisclosure:
+    def _trace_with_regular_pair(self, n_noise_users=40, n_calls=30):
+        """User 1 calls user 0 repeatedly; noise users call randomly."""
+        rng = random.Random(3)
+        records = []
+        for i in range(n_calls):
+            t = i * 500.0
+            records.append(CallRecord(1, 0, t, 60.0))
+            # One noise call co-starting in the same bin each round.
+            a = rng.randrange(2, n_noise_users)
+            b = rng.randrange(2, n_noise_users)
+            if a != b:
+                records.append(CallRecord(a, b, t + 0.2, 80.0))
+            # Background calls elsewhere.
+            c = rng.randrange(2, n_noise_users)
+            d = rng.randrange(2, n_noise_users)
+            if c != d:
+                records.append(CallRecord(c, d, t + 250.0, 60.0))
+        return CallTrace(records)
+
+    def test_sda_identifies_partner_without_chaffing(self):
+        trace = self._trace_with_regular_pair()
+        target_rounds, background_rounds = sda_rounds_from_trace(
+            trace, target=0)
+        result = statistical_disclosure(target_rounds,
+                                        background_rounds)
+        assert result.top(1) == [1]
+        assert result.separation() > 0.3
+
+    def test_sda_defeated_by_herd(self):
+        online = set(range(40))
+        target_rounds, background_rounds = herd_sda_rounds(
+            online, target=0, n_target=30, n_background=30)
+        result = statistical_disclosure(target_rounds,
+                                        background_rounds)
+        assert result.separation() == pytest.approx(0.0)
+        scores = set(round(s, 12) for s in result.scores.values())
+        assert len(scores) == 1  # perfectly uniform suspicion
+
+    def test_requires_target_rounds(self):
+        with pytest.raises(ValueError):
+            statistical_disclosure([], [])
+
+    def test_ranked_order(self):
+        result = statistical_disclosure(
+            [{1, 2}, {1, 3}, {1, 2}], [{2, 3}])
+        ranked = result.ranked()
+        assert ranked[0][0] == 1
+        assert ranked[0][1] >= ranked[1][1]
+
+    def test_separation_single_user(self):
+        result = statistical_disclosure([{5}], [])
+        assert result.separation() == 0.0
