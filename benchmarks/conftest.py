@@ -11,7 +11,6 @@ order) are embedded so regressions fail loudly; absolute values are
 recorded in EXPERIMENTS.md.
 """
 
-import random
 
 import pytest
 

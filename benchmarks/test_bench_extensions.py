@@ -13,7 +13,6 @@ directly:
 
 import random
 
-import pytest
 
 from repro.analysis.sybil import (
     channel_capture_probability,

@@ -10,7 +10,7 @@ cycle was 1.6%."
 
 import pytest
 
-from repro.analysis.bandwidth import offload_factor, sp_savings_fraction
+from repro.analysis.bandwidth import sp_savings_fraction
 from repro.simulation.herd_sim import provision_zone
 
 from conftest import BENCH_USERS, print_table

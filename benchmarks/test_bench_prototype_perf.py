@@ -12,8 +12,6 @@ without an SP in the path, and reports the measured reduction.
 import pytest
 
 from repro.core.channel import decode_manifest
-from repro.core.client import HerdClient
-from repro.core.join import join_zone
 from repro.simulation.testbed import build_testbed
 
 from conftest import print_table

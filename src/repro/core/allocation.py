@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Collection, Dict, List, Optional, Sequence, Set, Tuple
 
 
 @dataclass
@@ -133,11 +133,14 @@ class RankingMatcher:
     def active_channel(self, client: int) -> Optional[int]:
         return self._active.get(client)
 
-    def try_allocate(self, client: int) -> Optional[int]:
+    def try_allocate(self, client: int,
+                     exclude: Collection[int] = ()) -> Optional[int]:
         """Allocate a channel for a starting call; None if blocked.
 
         A client already on a call is blocked (one call at a time per
-        client in our model, matching the trace semantics).
+        client in our model, matching the trace semantics).  Channels
+        in ``exclude`` are never allocated — the call manager passes
+        the channels of failed or blacklisted SPs (§3.6.4).
         """
         self.calls_attempted += 1
         if client in self._active:
@@ -146,7 +149,8 @@ class RankingMatcher:
         channels = self.assignment.channels_of.get(client)
         if channels is None:
             raise KeyError(f"client {client} has no channel assignment")
-        free = [ch for ch in channels if ch not in self._busy]
+        free = [ch for ch in channels
+                if ch not in self._busy and ch not in exclude]
         if not free:
             self.calls_blocked += 1
             return None
@@ -176,7 +180,8 @@ class FirstFitMatcher(RankingMatcher):
     """Ablation baseline: allocate the lowest-numbered free channel
     instead of the highest-ranked one."""
 
-    def try_allocate(self, client: int) -> Optional[int]:
+    def try_allocate(self, client: int,
+                     exclude: Collection[int] = ()) -> Optional[int]:
         self.calls_attempted += 1
         if client in self._active:
             self.calls_blocked += 1
@@ -184,7 +189,8 @@ class FirstFitMatcher(RankingMatcher):
         channels = self.assignment.channels_of.get(client)
         if channels is None:
             raise KeyError(f"client {client} has no channel assignment")
-        free = sorted(ch for ch in channels if ch not in self._busy)
+        free = sorted(ch for ch in channels
+                      if ch not in self._busy and ch not in exclude)
         if not free:
             self.calls_blocked += 1
             return None

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 #: Default quality standards, per the experimental deployment's "high
 #: standard of packet loss rate and jitter".
@@ -61,7 +61,10 @@ class SPMonitor:
     def __init__(self, max_loss: float = DEFAULT_MAX_LOSS,
                  max_jitter_ms: float = DEFAULT_MAX_JITTER_MS,
                  min_availability: float = DEFAULT_MIN_AVAILABILITY,
-                 min_samples: int = DEFAULT_MIN_SAMPLES):
+                 min_samples: int = DEFAULT_MIN_SAMPLES,
+                 on_blacklist_sp: Optional[Callable[[str], None]] = None,
+                 on_blacklist_client: Optional[Callable[[str], None]]
+                 = None):
         self.max_loss = max_loss
         self.max_jitter_ms = max_jitter_ms
         self.min_availability = min_availability
@@ -69,6 +72,19 @@ class SPMonitor:
         self.records: Dict[str, SPRecord] = defaultdict(SPRecord)
         self.blacklisted_sps: Set[str] = set()
         self.blacklisted_clients: Set[str] = set()
+        #: Fired once per SP/client the moment it enters the blacklist,
+        #: so a running simulation can react *during* the run (kick off
+        #: mid-call failover, stop routing joins to the SP) instead of
+        #: inspecting the sets post-hoc.
+        self.on_blacklist_sp = on_blacklist_sp
+        self.on_blacklist_client = on_blacklist_client
+
+    def _blacklist_sp(self, sp_id: str) -> None:
+        if sp_id in self.blacklisted_sps:
+            return
+        self.blacklisted_sps.add(sp_id)
+        if self.on_blacklist_sp is not None:
+            self.on_blacklist_sp(sp_id)
 
     def record_quality(self, sp_id: str, loss: float,
                        jitter_ms: float) -> None:
@@ -93,10 +109,10 @@ class SPMonitor:
         if len(rec.loss_samples) >= self.min_samples:
             if rec.mean_loss > self.max_loss or \
                     rec.mean_jitter > self.max_jitter_ms:
-                self.blacklisted_sps.add(sp_id)
+                self._blacklist_sp(sp_id)
         if rec.total_checks >= self.min_samples and \
                 rec.availability < self.min_availability:
-            self.blacklisted_sps.add(sp_id)
+            self._blacklist_sp(sp_id)
 
     def is_blacklisted(self, sp_id: str) -> bool:
         return sp_id in self.blacklisted_sps
@@ -105,7 +121,11 @@ class SPMonitor:
         """Blacklist a client account identified by a round audit
         (§3.6.1: "enabling the mix to identify, drop, and blacklist the
         culprit's Herd account")."""
+        if client_id in self.blacklisted_clients:
+            return
         self.blacklisted_clients.add(client_id)
+        if self.on_blacklist_client is not None:
+            self.on_blacklist_client(client_id)
 
     def audit_round(self, sp_id: str, packets_by_client: Dict[str, bytes],
                     expected_by_client: Dict[str, bytes]) -> Optional[str]:
@@ -119,5 +139,5 @@ class SPMonitor:
             if expected is not None and packet != expected:
                 self.blacklist_client(client)
                 return client
-        self.blacklisted_sps.add(sp_id)
+        self._blacklist_sp(sp_id)
         return None

@@ -25,7 +25,7 @@ import random
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Collection, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.core.allocation import ChannelAssignment, RankingMatcher
 from repro.core.client import HerdClient
@@ -54,6 +54,24 @@ class ActiveCall:
     outgoing: bool
     #: Downstream cells waiting to be sent to this call's client.
     downstream: Deque[bytes] = field(default_factory=deque)
+    #: Channels this call vacated through mid-call failovers.
+    failed_over_from: List[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class FailoverRecord:
+    """One call leg's mid-call re-allocation after its channel's SP
+    failed or was blacklisted.  ``new_channel`` is None when no
+    surviving channel was free and the leg was dropped."""
+
+    numeric_id: int
+    call_id: int
+    old_channel: int
+    new_channel: Optional[int]
+
+    @property
+    def survived(self) -> bool:
+        return self.new_channel is not None
 
 
 class MixCallManager:
@@ -73,6 +91,10 @@ class MixCallManager:
         self._pending_grant: Dict[int, ActiveCall] = {}
         self._pending_announce: Dict[int, ActiveCall] = {}
         self.calls_blocked = 0
+        #: Channels of failed/blacklisted SPs: never allocated, never
+        #: produced downstream (§3.6.4).
+        self.disabled_channels: Set[int] = set()
+        self.failovers: List[FailoverRecord] = []
 
     # -- registration --------------------------------------------------------
 
@@ -88,7 +110,8 @@ class MixCallManager:
 
     def _allocate(self, numeric_id: int,
                   outgoing: bool) -> Optional[ActiveCall]:
-        channel = self.matcher.try_allocate(numeric_id)
+        channel = self.matcher.try_allocate(numeric_id,
+                                            exclude=self.disabled_channels)
         if channel is None:
             self.calls_blocked += 1
             return None
@@ -132,6 +155,48 @@ class MixCallManager:
         self._pending_grant.pop(numeric_id, None)
         self._pending_announce.pop(numeric_id, None)
 
+    def fail_channels(self, channel_ids: Collection[int]
+                      ) -> List[FailoverRecord]:
+        """Mid-call failover: the channels' SP died or was blacklisted
+        by the :class:`~repro.core.blacklist.SPMonitor` (§3.6.4).
+
+        The channels are disabled for all future allocation and
+        downstream production.  Every active call on one of them is
+        re-allocated to a surviving free channel among its client's k
+        attachments; a re-GRANT is queued so the client learns its new
+        channel with the next downstream round and the call resumes.
+        Legs with no surviving free channel are dropped (the caller is
+        expected to tear down the peer leg).
+        """
+        dead = set(channel_ids)
+        self.disabled_channels.update(dead)
+        records: List[FailoverRecord] = []
+        for numeric_id, call in list(self.calls.items()):
+            if call.channel_id not in dead:
+                continue
+            old_channel = call.channel_id
+            self.matcher.release(numeric_id)
+            self.mix.channels[old_channel].end_call()
+            self._pending_grant.pop(numeric_id, None)
+            self._pending_announce.pop(numeric_id, None)
+            new_channel = self.matcher.try_allocate(
+                numeric_id, exclude=self.disabled_channels)
+            if new_channel is None:
+                del self.calls[numeric_id]
+                record = FailoverRecord(numeric_id, call.call_id,
+                                        old_channel, None)
+            else:
+                slot = self._slots[numeric_id][new_channel]
+                self.mix.channels[new_channel].start_call(slot)
+                call.channel_id = new_channel
+                call.failed_over_from.append(old_channel)
+                self._pending_grant[numeric_id] = call
+                record = FailoverRecord(numeric_id, call.call_id,
+                                        old_channel, new_channel)
+            records.append(record)
+            self.failovers.append(record)
+        return records
+
     def enqueue_voice(self, numeric_id: int, cell: bytes) -> None:
         """Queue a downstream voice cell for a client's active call."""
         call = self.calls.get(numeric_id)
@@ -171,7 +236,8 @@ class MixCallManager:
             out[call.channel_id] = make_downstream_packet(
                 key, call.channel_id, round_index, KIND_VOIP, cell)
         for channel_id in self.mix.channels:
-            if channel_id not in out:
+            if channel_id not in out and \
+                    channel_id not in self.disabled_channels:
                 out[channel_id] = make_downstream_chaff(self.rng)
         return out
 

@@ -107,6 +107,17 @@ class HerdClient:
     def joined(self) -> bool:
         return self.session_key is not None
 
+    def detach_channels(self, channel_ids) -> List[ChannelAttachment]:
+        """Drop the attachments on the given channels (their SP died or
+        was blacklisted, §3.6.4) while staying joined at the mix; the
+        surviving attachments keep carrying chaff and any migrated
+        call.  Returns the removed attachments."""
+        dropped = [a for a in self.attachments
+                   if a.channel_id in channel_ids]
+        self.attachments = [a for a in self.attachments
+                            if a.channel_id not in channel_ids]
+        return dropped
+
     def leave(self) -> None:
         """Drop all session state so the client can re-join (e.g. after
         a mix or SP failure, §3.5).  The identity keys and certificate

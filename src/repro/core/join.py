@@ -21,6 +21,11 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.client import HerdClient, derive_client_mix_key
 from repro.core.directory import ZoneDirectory
 from repro.core.mix import Mix
+from repro.core.retry import (
+    BackoffPolicy,
+    VirtualClock,
+    call_with_retries,
+)
 from repro.core.superpeer import SuperPeer
 
 _numeric_ids = itertools.count(0)
@@ -124,3 +129,55 @@ def join_zone(client: HerdClient, directory: ZoneDirectory,
         client.attach(sp.sp_id, ch_id, slot)
         result.attachments.append((sp.sp_id, ch_id, slot))
     return result
+
+
+@dataclass
+class JoinRetryResult:
+    """A join that (eventually) succeeded, and what it took."""
+
+    result: JoinResult
+    attempts: int
+    backoff_s: float
+
+
+def join_with_retries(client: HerdClient, directory: ZoneDirectory,
+                      mixes: Dict[str, Mix],
+                      superpeers: Optional[Dict[str, SuperPeer]] = None,
+                      channel_choice: Optional[Sequence[int]] = None,
+                      rng: Optional[random.Random] = None,
+                      exclude_mix: Optional[str] = None,
+                      policy: Optional[BackoffPolicy] = None,
+                      clock: Optional[VirtualClock] = None
+                      ) -> JoinRetryResult:
+    """Run :func:`join_zone` with bounded exponential backoff (§3.5).
+
+    After an unclean mix crash the directory may keep redirecting
+    joins to the dead mix until it detects the failure; each such
+    attempt fails with ``KeyError`` and is retried after a backoff
+    accounted on the virtual ``clock``.  A partially completed join is
+    rolled back with :meth:`~repro.core.client.HerdClient.leave` before
+    the retry.  Raises :class:`~repro.core.retry.RetryError` when the
+    policy's attempts are exhausted.
+    """
+    if client.joined:
+        raise RuntimeError("client already joined")
+    policy = policy or BackoffPolicy()
+    clock = clock or VirtualClock()
+
+    def attempt() -> JoinResult:
+        try:
+            return join_zone(client, directory, mixes,
+                             superpeers=superpeers,
+                             channel_choice=channel_choice, rng=rng,
+                             exclude_mix=exclude_mix)
+        except Exception:
+            if client.joined:
+                client.leave()
+            raise
+
+    outcome = call_with_retries(
+        attempt, policy=policy, clock=clock, rng=rng,
+        retry_on=(KeyError, RuntimeError, ValueError))
+    return JoinRetryResult(result=outcome.value,
+                           attempts=outcome.attempts,
+                           backoff_s=outcome.backoff_s)

@@ -35,7 +35,6 @@ from repro.core.circuit import (
 )
 from repro.core.directory import ZoneDirectory
 from repro.core.network_coding import (
-    CODED_PACKET_SIZE,
     ChaffPredictor,
     decode_round,
 )
@@ -226,6 +225,18 @@ class Mix:
 
     def client_at_slot(self, channel_id: int, slot: int) -> str:
         return self._client_slots[(channel_id, slot)]
+
+    def reset_client_state(self) -> None:
+        """Forget every adopted client and all channel membership.
+
+        A mix restarting after a crash keeps its identity keys, zone
+        enrollment, and published descriptor, but holds no client
+        sessions: orphaned clients must re-run the §3.5 join protocol
+        (used by :func:`repro.simulation.churn.recover_mix`)."""
+        self.client_keys.clear()
+        self.predictor = ChaffPredictor({})
+        self.channels = {ch_id: Channel(ch_id) for ch_id in self.channels}
+        self._client_slots.clear()
 
     def decode_channel_round(self, channel_id: int, xor_packet: bytes,
                              manifests: List[Tuple[int, int, bool]]

@@ -27,7 +27,7 @@ import hashlib
 import hmac
 import random
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 from repro.crypto.chacha20 import chacha20_encrypt

@@ -68,6 +68,15 @@ class SuperPeer:
         clients.append(client_id)
         return len(clients) - 1
 
+    def reset_members(self) -> None:
+        """Drop all channel membership and audit buffers but keep
+        hosting the same channels.  A restarted SP re-registers with
+        its mix empty; clients re-attach through the join protocol
+        (used by :func:`repro.simulation.churn.recover_superpeer`)."""
+        for channel_id in self.channel_clients:
+            self.channel_clients[channel_id] = []
+            self._audit[channel_id].clear()
+
     # -- upstream ------------------------------------------------------------
 
     def combine_upstream(self, channel_id: int, round_index: int,

@@ -60,6 +60,16 @@ class TrustZone:
             raise ValueError(f"mix {mix_id} already registered")
         self.mix_ids.append(mix_id)
 
+    def remove_mix(self, mix_id: str) -> None:
+        """Prune a mix from the zone's membership — the directory's
+        reaction to a detected mix failure (§3.5).  Raises ``KeyError``
+        if the mix is not (or no longer) registered."""
+        try:
+            self.mix_ids.remove(mix_id)
+        except ValueError:
+            raise KeyError(f"mix {mix_id} is not registered in zone "
+                           f"{self.zone_id}") from None
+
     def interzone_controller(self, other_zone: str) -> RateController:
         """The shared rate controller for links toward ``other_zone``."""
         if other_zone == self.zone_id:

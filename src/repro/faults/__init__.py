@@ -1,0 +1,15 @@
+"""Fault injection: declarative plans, an injector, recovery timelines.
+
+See :mod:`repro.faults.plan` and :mod:`repro.faults.injector`.
+"""
+
+from repro.faults.injector import FaultInjector, TimelineEntry
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "TimelineEntry",
+]

@@ -108,22 +108,40 @@ class EventLoop:
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
         """Run events until the queue empties, virtual time passes
-        ``until``, or ``max_events`` have been processed."""
+        ``until``, or ``max_events`` have been processed.
+
+        ``_now`` advances to ``until`` (never backwards) on every exit
+        path where the queue is exhausted — including when it holds
+        only cancelled events, which are drained without counting
+        toward ``max_events``.
+        """
         processed = 0
         while self._queue:
-            if max_events is not None and processed >= max_events:
-                return
             next_event = self._queue[0]
             if next_event.cancelled:
                 heapq.heappop(self._queue)
                 continue
+            if max_events is not None and processed >= max_events:
+                return
             if until is not None and next_event.time > until:
-                self._now = until
+                self._now = max(self._now, until)
                 return
             self.step()
             processed += 1
         if until is not None and until > self._now:
             self._now = until
+
+    def cancel_all(self) -> None:
+        """Cancel every queued event and empty the queue.
+
+        Outstanding :class:`Event` handles (including the master
+        handles of periodic schedules) observe ``cancelled`` so nothing
+        re-arms itself.  Used by fault injectors and tests to tear a
+        simulation down cleanly mid-run.
+        """
+        for event in self._queue:
+            event.cancel()
+        self._queue.clear()
 
     def pending(self) -> int:
         """Number of uncancelled events still queued."""

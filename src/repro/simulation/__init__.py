@@ -35,7 +35,17 @@ from repro.simulation.churn import (
     AvailabilityModel,
     fail_mix,
     fail_superpeer,
+    recover_mix,
+    recover_superpeer,
     rejoin_clients,
+)
+from repro.simulation.chaos import (
+    ChaosConfig,
+    ChaosReport,
+    RejoinStats,
+    blacklist_plan,
+    default_plan,
+    run_chaos,
 )
 
 __all__ = [
@@ -57,5 +67,13 @@ __all__ = [
     "AvailabilityModel",
     "fail_mix",
     "fail_superpeer",
+    "recover_mix",
+    "recover_superpeer",
     "rejoin_clients",
+    "ChaosConfig",
+    "ChaosReport",
+    "RejoinStats",
+    "blacklist_plan",
+    "default_plan",
+    "run_chaos",
 ]

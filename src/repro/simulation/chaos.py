@@ -1,0 +1,301 @@
+"""Chaos scenarios: fault plans replayed against a live deployment.
+
+The acceptance scenario of the Herd failure model (§3.1, §3.5, §3.6.4)
+in one runnable function: a live zone carries real calls at codec-frame
+granularity while a :class:`~repro.faults.plan.FaultPlan` kills a mix
+(orphaning direct clients, who re-join through surviving mixes with
+exponential backoff) and kills or degrades-until-blacklisted an SP
+mid-call (whose active call legs fail over to surviving channels and
+resume).  :func:`run_chaos` returns a :class:`ChaosReport` with the
+structured fault timeline, per-client re-join latencies, and per-leg
+failover outcomes — and two runs with the same seed and plan produce
+identical reports (the determinism regression the tests assert).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.blacklist import SPMonitor
+from repro.core.callmanager import CallState, FailoverRecord
+from repro.core.join import join_zone
+from repro.core.retry import BackoffPolicy, LoopRetry
+from repro.faults.injector import FaultInjector, TimelineEntry
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.netsim.engine import EventLoop
+from repro.simulation.churn import fail_superpeer
+from repro.simulation.live import LiveZone
+from repro.simulation.testbed import build_testbed
+
+LIVE_ZONE = "zone-live"
+CTL_ZONE = "zone-ctl"
+
+
+@dataclass
+class ChaosConfig:
+    """Knobs of the chaos scenario (defaults match the acceptance
+    scenario: one mix crash + one SP loss mid-call)."""
+
+    seed: int = 20150817
+    n_live_clients: int = 12
+    n_channels: int = 6
+    n_sps: int = 2
+    k: int = 3
+    n_direct_clients: int = 6
+    round_interval_s: float = 0.02
+    horizon_s: float = 12.0
+    call_pairs: int = 1
+    call_start_s: float = 0.5
+    plan: Optional[FaultPlan] = None
+    rejoin_policy: BackoffPolicy = field(default_factory=lambda: BackoffPolicy(
+        base_delay_s=0.25, multiplier=2.0, max_delay_s=2.0,
+        max_attempts=8, jitter=0.1))
+    #: SPMonitor sampling cadence for degradation faults.
+    sample_interval_s: float = 0.25
+
+
+def default_plan() -> FaultPlan:
+    """Mix crash (unclean: 1 s detection delay, recovers at +5 s) plus
+    an SP crash mid-call."""
+    return FaultPlan([
+        FaultSpec(kind=FaultKind.MIX_CRASH, at_s=2.0,
+                  target=f"{CTL_ZONE}/mix-0", duration_s=5.0,
+                  detection_delay_s=1.0),
+        FaultSpec(kind=FaultKind.SP_CRASH, at_s=3.0,
+                  target=f"{LIVE_ZONE}/sp-1"),
+    ])
+
+
+def blacklist_plan() -> FaultPlan:
+    """Same mix crash, but the SP is not killed — its link degrades
+    until the mix's :class:`SPMonitor` blacklists it, which triggers
+    the same mid-call failover path."""
+    return FaultPlan([
+        FaultSpec(kind=FaultKind.MIX_CRASH, at_s=2.0,
+                  target=f"{CTL_ZONE}/mix-0", duration_s=5.0,
+                  detection_delay_s=1.0),
+        FaultSpec(kind=FaultKind.LINK_DEGRADE, at_s=2.0,
+                  target=f"{LIVE_ZONE}/sp-1", duration_s=4.0,
+                  loss=0.30, jitter_ms=80.0),
+    ])
+
+
+@dataclass
+class RejoinStats:
+    """One orphaned client's backoff-driven re-join."""
+
+    client_id: str
+    orphaned_at_s: float
+    rejoined_at_s: Optional[float]
+    attempts: int
+    backoff_s: float
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.rejoined_at_s is None:
+            return None
+        return self.rejoined_at_s - self.orphaned_at_s
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run produced."""
+
+    plan_signature: str
+    timeline: List[TimelineEntry]
+    events_processed: int
+    rounds_run: int
+    call_legs_established: int
+    failovers: List[FailoverRecord]
+    rejoins: List[RejoinStats]
+    #: client id → voice cells received *after* its leg failed over.
+    post_failover_voice: Dict[str, int]
+    blacklisted_sps: Tuple[str, ...]
+
+    @property
+    def survived_failovers(self) -> List[FailoverRecord]:
+        return [r for r in self.failovers if r.survived]
+
+    @property
+    def dropped_failovers(self) -> List[FailoverRecord]:
+        return [r for r in self.failovers if not r.survived]
+
+    @property
+    def call_survival_rate(self) -> float:
+        if not self.failovers:
+            return 1.0
+        return len(self.survived_failovers) / len(self.failovers)
+
+    @property
+    def all_rejoined(self) -> bool:
+        return bool(self.rejoins) and \
+            all(r.rejoined_at_s is not None for r in self.rejoins)
+
+    @property
+    def mid_call_failover_demonstrated(self) -> bool:
+        """At least one leg re-allocated to a surviving channel AND
+        received voice after the switch — the call really resumed."""
+        return any(self.post_failover_voice.get(cid, 0) > 0
+                   for cid in self.post_failover_voice)
+
+    def determinism_key(self) -> Tuple:
+        """Everything that must match bit-for-bit between two runs with
+        the same seed and plan.  Deliberately excludes process-global
+        counters (numeric ids, call ids)."""
+        return (
+            self.plan_signature,
+            tuple((e.time_s, e.action, e.kind, e.target, e.detail)
+                  for e in self.timeline),
+            self.events_processed,
+            self.rounds_run,
+            self.call_legs_established,
+            tuple(sorted(self.post_failover_voice.items())),
+            tuple((r.client_id, round(r.orphaned_at_s, 9),
+                   None if r.rejoined_at_s is None
+                   else round(r.rejoined_at_s, 9), r.attempts)
+                  for r in sorted(self.rejoins,
+                                  key=lambda r: r.client_id)),
+            self.blacklisted_sps,
+        )
+
+
+def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosReport:
+    """Run one chaos scenario end to end."""
+    cfg = config or ChaosConfig()
+    plan = cfg.plan or default_plan()
+    loop = EventLoop(seed=cfg.seed)
+    bed = build_testbed([(LIVE_ZONE, "dc-live", 1),
+                         (CTL_ZONE, "dc-ctl", 2)], seed=cfg.seed)
+    zone = LiveZone(n_clients=cfg.n_live_clients,
+                    n_channels=cfg.n_channels, k=cfg.k,
+                    n_sps=cfg.n_sps, seed=cfg.seed, bed=bed,
+                    zone_id=LIVE_ZONE, client_prefix="live")
+    for i in range(cfg.n_direct_clients):
+        bed.add_client(f"ctl-{i}", CTL_ZONE)
+
+    monitor = SPMonitor()
+    injector = FaultInjector(bed, loop, monitor=monitor,
+                             sp_full_leave=False,
+                             sample_interval_s=cfg.sample_interval_s)
+
+    rejoins: List[RejoinStats] = []
+    post_failover_voice: Dict[str, int] = {}
+    voice_snapshot: Dict[str, int] = {}
+
+    def note_failovers(records: List[FailoverRecord]) -> None:
+        for record in records:
+            live = zone._by_numeric.get(record.numeric_id)
+            client_id = live.client.client_id if live else "?"
+            if record.survived:
+                injector.record(
+                    "failover", "call", client_id,
+                    f"ch{record.old_channel}->ch{record.new_channel}")
+                voice_snapshot[client_id] = len(zone.received_by(client_id))
+            else:
+                injector.record("dropped", "call", client_id,
+                                f"ch{record.old_channel} lost, no free "
+                                "surviving channel")
+
+    # -- SP crash → mid-call failover on the live data plane ----------------
+    def on_sp_crash(spec: FaultSpec, affected: List[str]) -> None:
+        sp = injector.failed_sps.get(spec.target)
+        if sp is None or not spec.target.startswith(LIVE_ZONE + "/"):
+            return
+        note_failovers(zone.absorb_superpeer_failure(sp))
+
+    injector.on_sp_crash.append(on_sp_crash)
+
+    # -- degraded SP → blacklisted by the monitor → same failover path ------
+    def on_blacklist(sp_id: str) -> None:
+        injector.record("blacklisted", "sp_quality", sp_id,
+                        "loss/jitter standard violated")
+        sp = bed.superpeers.get(sp_id)
+        if sp is None or not sp_id.startswith(LIVE_ZONE + "/"):
+            return
+        fail_superpeer(bed, sp_id, full_leave=False)
+        note_failovers(zone.absorb_superpeer_failure(sp))
+
+    monitor.on_blacklist_sp = on_blacklist
+
+    # -- mix crash → orphans re-join through surviving mixes with backoff ---
+    def on_mix_crash(spec: FaultSpec, orphans: List[str]) -> None:
+        orphaned_at = loop.now
+        for cid in orphans:
+            if cid in zone.clients:
+                continue  # live-zone clients are not re-joined directly
+            client = bed.clients[cid]
+
+            def rejoin(client=client):
+                return join_zone(client,
+                                 bed.directories[client.zone_id],
+                                 bed.mixes, rng=bed.rng)
+
+            stats = RejoinStats(client_id=cid, orphaned_at_s=orphaned_at,
+                                rejoined_at_s=None, attempts=0,
+                                backoff_s=0.0)
+            rejoins.append(stats)
+
+            def finish(task: LoopRetry, stats=stats) -> None:
+                stats.attempts = task.attempts
+                stats.backoff_s = task.backoff_s
+                if task.succeeded:
+                    stats.rejoined_at_s = task.finished_at
+                    injector.record("rejoined", "client", stats.client_id,
+                                    f"attempts={task.attempts}")
+                else:
+                    injector.record("gave_up", "client", stats.client_id,
+                                    f"attempts={task.attempts}")
+
+            LoopRetry(loop=loop, fn=rejoin, policy=cfg.rejoin_policy,
+                      rng=bed.rng,
+                      retry_on=(KeyError, RuntimeError, ValueError),
+                      on_success=finish, on_give_up=finish,
+                      start_delay_s=cfg.rejoin_policy.base_delay_s / 2,
+                      label=cid)
+
+    injector.on_mix_crash.append(on_mix_crash)
+
+    plan.compile_onto(loop, injector)
+
+    # -- the data plane: rounds as periodic events, calls as one-shots ------
+    granted: set = set()
+
+    def tick() -> None:
+        for live in zone.clients.values():
+            agent = live.agent
+            if agent.state is CallState.IN_CALL:
+                granted.add(live.client.client_id)
+                zone.say(live.client.client_id,
+                         f"v{zone.round_index}".encode())
+        zone.step()
+
+    zone_handle = loop.schedule_periodic(cfg.round_interval_s, tick,
+                                         start_delay=0.0)
+
+    pairs = [(f"live-{2 * i}", f"live-{2 * i + 1}")
+             for i in range(cfg.call_pairs)]
+    for caller, callee in pairs:
+        loop.schedule_at(cfg.call_start_s,
+                         lambda c=caller, p=callee: zone.start_call(c, p))
+
+    loop.run(until=cfg.horizon_s)
+    zone_handle.cancel()
+    injector.teardown()
+    loop.cancel_all()
+
+    for client_id, before in voice_snapshot.items():
+        post_failover_voice[client_id] = \
+            len(zone.received_by(client_id)) - before
+
+    return ChaosReport(
+        plan_signature=plan.signature(),
+        timeline=list(injector.timeline),
+        events_processed=loop.events_processed,
+        rounds_run=zone.round_index,
+        call_legs_established=len(granted),
+        failovers=list(zone.manager.failovers),
+        rejoins=rejoins,
+        post_failover_voice=post_failover_voice,
+        blacklisted_sps=tuple(sorted(monitor.blacklisted_sps)),
+    )

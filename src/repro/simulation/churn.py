@@ -25,19 +25,42 @@ from repro.core.join import JoinResult, join_zone
 from repro.simulation.testbed import HerdTestbed
 
 
-def fail_mix(bed: HerdTestbed, mix_id: str) -> List[str]:
+def fail_mix(bed: HerdTestbed, mix_id: str,
+             prune_directory: bool = True) -> List[str]:
     """Take a mix down: remove it from the zone and the deployment.
     Returns the ids of the clients that were attached to it and now
-    need to re-join."""
+    need to re-join.
+
+    A double failure (or a mix the testbed never had) raises a clear
+    ``KeyError``; a mix the directory already pruned is simply skipped
+    in the zone removal.  With ``prune_directory=False`` the crash is
+    *unclean*: the directory keeps listing the dead mix (and keeps
+    redirecting joins to it) until something calls
+    :meth:`~repro.core.zone.TrustZone.remove_mix` — the detection-delay
+    window the fault injector uses to exercise join retries.
+    """
     mix = bed.mixes.pop(mix_id, None)
     if mix is None:
         raise KeyError(f"no such mix {mix_id}")
-    mix.zone.mix_ids.remove(mix_id)
+    if prune_directory and mix_id in mix.zone.mix_ids:
+        mix.zone.remove_mix(mix_id)
     orphans = [cid for cid, client in bed.clients.items()
                if client.mix_id == mix_id]
     for cid in orphans:
         bed.clients[cid].leave()
     return orphans
+
+
+def recover_mix(bed: HerdTestbed, mix) -> None:
+    """Bring a failed mix back with the same identity but no client
+    sessions (a restart keeps keys and enrollment; clients must re-run
+    the §3.5 join).  ``mix`` is the object :func:`fail_mix` removed."""
+    if mix.mix_id in bed.mixes:
+        raise ValueError(f"mix {mix.mix_id} is already running")
+    mix.reset_client_state()
+    bed.mixes[mix.mix_id] = mix
+    if mix.mix_id not in mix.zone.mix_ids:
+        mix.zone.add_mix(mix.mix_id)
 
 
 def rejoin_clients(bed: HerdTestbed, client_ids: Sequence[str],
@@ -52,19 +75,44 @@ def rejoin_clients(bed: HerdTestbed, client_ids: Sequence[str],
     return results
 
 
-def fail_superpeer(bed: HerdTestbed, sp_id: str) -> List[str]:
-    """Take an SP down.  Returns the clients attached through it; they
-    must leave and re-join (getting fresh channel assignments)."""
+def fail_superpeer(bed: HerdTestbed, sp_id: str,
+                   full_leave: bool = True) -> List[str]:
+    """Take an SP down.  Always returns the (possibly empty) sorted
+    list of clients attached through it — an SP with zero attached
+    clients yields ``[]``, never ``None``.
+
+    With ``full_leave=True`` (the historical behaviour) affected
+    clients drop their whole session and must re-join.  With
+    ``full_leave=False`` they only shed the attachments the dead SP
+    hosted and stay joined on their surviving channels — the state the
+    mid-call failover path (§3.6.4) starts from.
+    """
     sp = bed.superpeers.pop(sp_id, None)
     if sp is None:
         raise KeyError(f"no such superpeer {sp_id}")
+    dead_channels = set(sp.channel_clients)
     affected: Set[str] = set()
     for members in sp.channel_clients.values():
         affected.update(members)
-    for cid in affected:
-        if cid in bed.clients:
-            bed.clients[cid].leave()
+    for cid in sorted(affected):
+        client = bed.clients.get(cid)
+        if client is None:
+            continue
+        if full_leave:
+            client.leave()
+        else:
+            client.detach_channels(dead_channels)
     return sorted(affected)
+
+
+def recover_superpeer(bed: HerdTestbed, sp) -> None:
+    """Bring a failed SP back hosting the same channels but with empty
+    membership; clients re-attach by re-joining.  ``sp`` is the object
+    :func:`fail_superpeer` removed."""
+    if sp.sp_id in bed.superpeers:
+        raise ValueError(f"superpeer {sp.sp_id} is already running")
+    sp.reset_members()
+    bed.superpeers[sp.sp_id] = sp
 
 
 @dataclass

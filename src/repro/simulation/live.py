@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 from repro.core.callmanager import CallState, ClientCallAgent, \
-    MixCallManager
+    FailoverRecord, MixCallManager
 from repro.core.channel import decode_manifest
 from repro.core.join import join_zone
 from repro.core.client import HerdClient
@@ -137,6 +137,43 @@ class LiveZone:
     def say(self, client_id: str, cell: bytes) -> None:
         """Queue a voice cell for the client's active call."""
         self.clients[client_id].outbox.append(cell)
+
+    # -- failures and mid-call failover (§3.6.4) -------------------------------
+
+    def fail_superpeer(self, sp_id: str) -> List[FailoverRecord]:
+        """Take one of the zone's SPs down mid-run.
+
+        The bed-level failure (:func:`repro.simulation.churn.
+        fail_superpeer` with ``full_leave=False``) sheds the dead
+        attachments; the data plane then re-allocates every active call
+        leg that was on one of the SP's channels to a surviving channel
+        (the re-GRANT rides the next downstream round) and hangs up
+        legs with nowhere to go — along with their peers.
+        """
+        from repro.simulation.churn import fail_superpeer as _fail_sp
+        sp = next((s for s in self.sps if s.sp_id == sp_id), None)
+        if sp is None:
+            raise KeyError(f"superpeer {sp_id} is not part of this zone")
+        _fail_sp(self.bed, sp_id, full_leave=False)
+        return self.absorb_superpeer_failure(sp)
+
+    def absorb_superpeer_failure(self, sp) -> List[FailoverRecord]:
+        """Data-plane half of an SP failure whose bed-level removal
+        already happened (fault injector, blacklist reaction): stop
+        running the SP's channels, fail the channels over at the call
+        manager, and tear down dropped legs with their peers."""
+        dead_channels = set(sp.channel_clients)
+        if sp in self.sps:
+            self.sps.remove(sp)
+        for channel_id in dead_channels:
+            self._sp_of_channel.pop(channel_id, None)
+        records = self.manager.fail_channels(dead_channels)
+        for record in records:
+            if record.new_channel is None:
+                live = self._by_numeric.get(record.numeric_id)
+                if live is not None:
+                    self.hang_up(live.client.client_id)
+        return records
 
     # -- the round engine ------------------------------------------------------
 

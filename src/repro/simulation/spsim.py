@@ -22,7 +22,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.core.allocation import (
-    ChannelAssignment,
     FirstFitMatcher,
     RankingMatcher,
     assign_clients_to_channels,

@@ -2,7 +2,6 @@
 
 import random
 
-import numpy as np
 import pytest
 
 from repro.analysis.anonymity import (
@@ -18,7 +17,7 @@ from repro.analysis.bandwidth import (
     offload_factor,
     sp_savings_fraction,
 )
-from repro.analysis.cost import CostModel, EC2Pricing
+from repro.analysis.cost import CostModel
 from repro.analysis.cpu import CpuModel
 from repro.baselines.drac import DracModel
 from repro.baselines.tor import TorModel

@@ -1,0 +1,135 @@
+"""Tests: the §3.6.1 full-packet audit path and §3.6.4 blacklist
+callbacks.
+
+An undecodable XOR round (nonzero residue with no active client) makes
+the mix pull the SP's buffered full packets, compare each against the
+predicted chaff, and blacklist the culprit *account* — or the SP
+itself when every client packet checks out.
+"""
+
+import random
+
+import pytest
+
+from repro.core.blacklist import SPMonitor
+from repro.core.network_coding import (
+    CODED_PACKET_SIZE,
+    ChaffPredictor,
+    decode_round,
+    make_chaff_packet,
+)
+from repro.core.superpeer import AUDIT_BUFFER_ROUNDS, SuperPeer
+from repro.crypto.keys import SessionKey
+
+
+def _channel(n_clients=3, seed=0):
+    rng = random.Random(seed)
+    keys = {i: SessionKey.generate(rng) for i in range(n_clients)}
+    predictor = ChaffPredictor(dict(keys))
+    sp = SuperPeer("sp-x", "mix-x")
+    sp.host_channel(0, [f"c{i}" for i in range(n_clients)])
+    return keys, predictor, sp
+
+
+def _run_round(sp, packets, round_index):
+    return sp.combine_upstream(0, round_index, packets,
+                               [b"mmmm"] * len(packets))
+
+
+class TestAuditPath:
+    def test_honest_idle_round_decodes_to_nothing(self):
+        keys, predictor, sp = _channel()
+        up = _run_round(sp, [make_chaff_packet(keys[i], 0)
+                             for i in range(3)], 7)
+        sender, payload, signalers = decode_round(
+            up.xor_packet, [(i, 0, False) for i in range(3)], predictor)
+        assert sender is None and payload == b"" and signalers == []
+
+    def test_garbage_packet_makes_round_undecodable(self):
+        keys, predictor, sp = _channel()
+        packets = [make_chaff_packet(keys[i], 0) for i in range(3)]
+        packets[1] = b"\xa5" * CODED_PACKET_SIZE  # c1 misbehaves
+        up = _run_round(sp, packets, 7)
+        with pytest.raises(ValueError, match="audit required"):
+            decode_round(up.xor_packet, [(i, 0, False) for i in range(3)],
+                         predictor)
+
+    def test_audit_identifies_and_blacklists_culprit_account(self):
+        keys, predictor, sp = _channel()
+        packets = [make_chaff_packet(keys[i], 0) for i in range(3)]
+        packets[1] = b"\xa5" * CODED_PACKET_SIZE
+        up = _run_round(sp, packets, 7)
+        with pytest.raises(ValueError):
+            decode_round(up.xor_packet, [(i, 0, False) for i in range(3)],
+                         predictor)
+        # The mix asks the SP for the round's buffered full packets...
+        buffered = sp.audit_packets(0, 7)
+        members = sp.channel_clients[0]
+        packets_by_client = dict(zip(members, buffered))
+        # ...and compares them against the predicted chaff.
+        expected = {f"c{i}": predictor.predict(i, 0) for i in range(3)}
+        monitor = SPMonitor()
+        culprit = monitor.audit_round(sp.sp_id, packets_by_client,
+                                      expected)
+        assert culprit == "c1"
+        assert "c1" in monitor.blacklisted_clients
+        assert not monitor.is_blacklisted(sp.sp_id)
+
+    def test_audit_blames_sp_when_every_packet_checks_out(self):
+        # The SP forwarded a forged XOR: the buffered client packets
+        # are all exactly the predicted chaff, so the SP itself lied.
+        keys, predictor, sp = _channel()
+        packets = [make_chaff_packet(keys[i], 0) for i in range(3)]
+        _run_round(sp, packets, 7)
+        packets_by_client = dict(zip(sp.channel_clients[0], packets))
+        expected = {f"c{i}": predictor.predict(i, 0) for i in range(3)}
+        monitor = SPMonitor()
+        culprit = monitor.audit_round(sp.sp_id, packets_by_client,
+                                      expected)
+        assert culprit is None
+        assert monitor.is_blacklisted(sp.sp_id)
+        assert not monitor.blacklisted_clients
+
+    def test_audit_buffer_keeps_only_recent_rounds(self):
+        keys, predictor, sp = _channel()
+        for r in range(AUDIT_BUFFER_ROUNDS + 2):
+            _run_round(sp, [make_chaff_packet(keys[i], r)
+                            for i in range(3)], r)
+        with pytest.raises(KeyError):
+            sp.audit_packets(0, 0)  # expired
+        assert len(sp.audit_packets(0, AUDIT_BUFFER_ROUNDS + 1)) == 3
+
+
+class TestBlacklistCallbacks:
+    def test_sp_callback_fires_once_on_quality_violation(self):
+        fired = []
+        monitor = SPMonitor(min_samples=3,
+                            on_blacklist_sp=fired.append)
+        for _ in range(6):
+            monitor.record_quality("sp-bad", loss=0.5, jitter_ms=5.0)
+        assert fired == ["sp-bad"]
+        assert monitor.is_blacklisted("sp-bad")
+
+    def test_client_callback_fires_once(self):
+        fired = []
+        monitor = SPMonitor(on_blacklist_client=fired.append)
+        monitor.blacklist_client("c9")
+        monitor.blacklist_client("c9")
+        assert fired == ["c9"]
+
+    def test_availability_violation_fires_callback(self):
+        fired = []
+        monitor = SPMonitor(min_samples=4,
+                            on_blacklist_sp=fired.append)
+        for _ in range(4):
+            monitor.record_availability("sp-down", False)
+        assert fired == ["sp-down"]
+
+    def test_healthy_sp_never_blacklisted(self):
+        fired = []
+        monitor = SPMonitor(on_blacklist_sp=fired.append)
+        for _ in range(50):
+            monitor.record_quality("sp-good", loss=0.0, jitter_ms=1.0)
+            monitor.record_availability("sp-good", True)
+        assert fired == []
+        assert not monitor.is_blacklisted("sp-good")

@@ -1,7 +1,5 @@
 """Integration tests: call manager, signaling, and the live zone."""
 
-import random
-
 import pytest
 
 from repro.core.callmanager import CallState, MixCallManager
@@ -255,3 +253,94 @@ class TestMultiSPZone:
             _zone(n_sps=0)
         with pytest.raises(ValueError):
             _zone(n_channels=2, n_sps=3)
+
+
+class TestMidCallFailover:
+    def _in_call_zone(self, **kwargs):
+        zone = _zone(n_clients=12, n_channels=6, k=3, n_sps=2, **kwargs)
+        zone.start_call("client-0", "client-1")
+        zone.run(4)
+        assert zone.state_of("client-0") is CallState.IN_CALL
+        assert zone.state_of("client-1") is CallState.IN_CALL
+        return zone
+
+    def test_fail_channels_regrants_on_surviving_channel(self):
+        zone = self._in_call_zone()
+        victim = zone.clients["client-0"]
+        old_channel = victim.agent.active_channel
+        records = zone.manager.fail_channels([old_channel])
+        assert len(records) == 1
+        record = records[0]
+        assert record.survived
+        assert record.old_channel == old_channel
+        assert record.new_channel != old_channel
+        assert old_channel in zone.manager.disabled_channels
+        call = zone.manager.calls[victim.numeric_id]
+        assert call.channel_id == record.new_channel
+        assert call.failed_over_from == [old_channel]
+        # The re-GRANT rides the next downstream round and the client
+        # switches channels.
+        zone.run(2)
+        assert victim.agent.active_channel == record.new_channel
+        assert victim.agent.state is CallState.IN_CALL
+
+    def test_disabled_channels_never_reallocated(self):
+        zone = self._in_call_zone()
+        dead = zone.clients["client-0"].agent.active_channel
+        zone.manager.fail_channels([dead])
+        zone.hang_up("client-0")
+        for cid in ("client-2", "client-3", "client-4"):
+            zone.start_call(cid, f"client-{int(cid[-1]) + 4}")
+            zone.run(3)
+        for call in zone.manager.calls.values():
+            assert call.channel_id != dead
+
+    def test_live_sp_failure_call_resumes_on_surviving_sp(self):
+        zone = self._in_call_zone()
+        victim = zone.clients["client-0"]
+        dead_sp = zone._sp_of_channel[victim.agent.active_channel]
+        survivors = [sp for sp in zone.sps if sp is not dead_sp]
+        records = zone.fail_superpeer(dead_sp.sp_id)
+        assert dead_sp.sp_id not in zone.bed.superpeers
+        assert dead_sp not in zone.sps
+        regranted = [r for r in records
+                     if r.numeric_id == victim.numeric_id]
+        assert len(regranted) == 1 and regranted[0].survived
+        new_channel = regranted[0].new_channel
+        assert new_channel in survivors[0].channel_clients
+        # Voice flows again after the switch, both directions.
+        zone.run(2)
+        assert victim.agent.active_channel == new_channel
+        before_0 = len(zone.received_by("client-0"))
+        before_1 = len(zone.received_by("client-1"))
+        for i in range(5):
+            zone.say("client-0", b"after-failover-%d" % i)
+            zone.say("client-1", b"reply-%d" % i)
+        zone.run(10)
+        assert len(zone.received_by("client-1")) >= before_1 + 5
+        assert len(zone.received_by("client-0")) >= before_0 + 5
+        assert zone.received_by("client-1")[-1][:14] == b"after-failover"
+
+    def test_dropped_leg_tears_down_both_sides(self):
+        # Two channels, one per SP, k=2: when the caller's SP dies the
+        # only surviving channel is busy with the callee's leg, so the
+        # caller's leg is dropped and both sides hang up.
+        zone = _zone(n_clients=6, n_channels=2, k=2, n_sps=2)
+        zone.start_call("client-0", "client-1")
+        zone.run(4)
+        caller = zone.clients["client-0"]
+        dead_sp = zone._sp_of_channel[caller.agent.active_channel]
+        records = zone.fail_superpeer(dead_sp.sp_id)
+        dropped = [r for r in records if not r.survived]
+        assert len(dropped) == 1
+        assert zone.state_of("client-0") is CallState.IDLE
+        assert zone.state_of("client-1") is CallState.IDLE
+        assert zone.manager.calls == {}
+        assert zone.peers == {}
+
+    def test_failover_records_accumulate_on_manager(self):
+        zone = self._in_call_zone()
+        dead = zone.clients["client-0"].agent.active_channel
+        zone.manager.fail_channels([dead])
+        assert len(zone.manager.failovers) == 1
+        assert zone.manager.failovers[0].old_channel == dead

@@ -25,6 +25,8 @@ from repro.simulation.churn import (
     exposure_rounds,
     fail_mix,
     fail_superpeer,
+    recover_mix,
+    recover_superpeer,
     rejoin_clients,
 )
 
@@ -87,6 +89,54 @@ class TestFailover:
         with pytest.raises(KeyError):
             fail_mix(bed, "nope")
 
+    def test_double_mix_failure_raises_keyerror(self):
+        # A second failure of the same mix is a KeyError ("no such
+        # mix"), never a ValueError from the zone's membership list.
+        bed = build_testbed()
+        target = bed.zones["zone-EU"].mix_ids[0]
+        fail_mix(bed, target)
+        with pytest.raises(KeyError):
+            fail_mix(bed, target)
+
+    def test_fail_mix_already_pruned_from_directory(self):
+        # The directory pruned the mix first (e.g. an operator action);
+        # failing it afterwards must not blow up on the zone removal.
+        bed = build_testbed()
+        target = bed.zones["zone-EU"].mix_ids[0]
+        bed.zones["zone-EU"].remove_mix(target)
+        orphans = fail_mix(bed, target)
+        assert orphans == []
+        assert target not in bed.mixes
+
+    def test_unclean_crash_keeps_directory_listing(self):
+        bed = build_testbed()
+        target = bed.zones["zone-EU"].mix_ids[0]
+        fail_mix(bed, target, prune_directory=False)
+        assert target not in bed.mixes
+        assert target in bed.zones["zone-EU"].mix_ids
+
+    def test_remove_unregistered_mix_raises_keyerror(self):
+        bed = build_testbed()
+        with pytest.raises(KeyError):
+            bed.zones["zone-EU"].remove_mix("ghost")
+
+    def test_recover_mix_round_trip(self):
+        bed = build_testbed()
+        bed.add_client("c0", "zone-EU")
+        target = bed.clients["c0"].mix_id
+        mix = bed.mixes[target]
+        fail_mix(bed, target)
+        recover_mix(bed, mix)
+        assert target in bed.mixes
+        assert target in bed.zones["zone-EU"].mix_ids
+        assert mix.client_keys == {}  # sessions gone; clients re-join
+        with pytest.raises(ValueError):
+            recover_mix(bed, mix)  # already running
+        # A re-join through the recovered mix works.
+        results = rejoin_clients(bed, ["c0"])
+        assert bed.clients["c0"].joined
+        assert results["c0"].mix_id in bed.mixes
+
     def test_fail_superpeer(self):
         bed = build_testbed(zone_specs=[("zone-EU", "dc-eu", 1)])
         mix = bed.mixes["zone-EU/mix-0"]
@@ -98,6 +148,39 @@ class TestFailover:
         assert not c.joined
         with pytest.raises(KeyError):
             fail_superpeer(bed, "sp-0")
+
+    def test_fail_superpeer_without_clients_returns_empty_list(self):
+        bed = build_testbed(zone_specs=[("zone-EU", "dc-eu", 1)])
+        mix = bed.mixes["zone-EU/mix-0"]
+        mix.configure_channels(2)
+        bed.add_superpeer("sp-0", mix.mix_id, channels=[0, 1])
+        affected = fail_superpeer(bed, "sp-0")
+        assert affected == []  # a list, never None
+
+    def test_fail_superpeer_detach_only_keeps_session(self):
+        bed = build_testbed(zone_specs=[("zone-EU", "dc-eu", 1)])
+        mix = bed.mixes["zone-EU/mix-0"]
+        mix.configure_channels(4)
+        bed.add_superpeer("sp-0", mix.mix_id, channels=[0, 1])
+        bed.add_superpeer("sp-1", mix.mix_id, channels=[2, 3])
+        c = bed.add_client("c0", "zone-EU", k=4, via_superpeers=True)
+        affected = fail_superpeer(bed, "sp-1", full_leave=False)
+        assert affected == ["c0"]
+        assert c.joined  # still in the zone on the surviving SP
+        assert sorted(a.channel_id for a in c.attachments) == [0, 1]
+
+    def test_recover_superpeer_round_trip(self):
+        bed = build_testbed(zone_specs=[("zone-EU", "dc-eu", 1)])
+        mix = bed.mixes["zone-EU/mix-0"]
+        mix.configure_channels(2)
+        sp = bed.add_superpeer("sp-0", mix.mix_id, channels=[0, 1])
+        bed.add_client("c0", "zone-EU", k=2, via_superpeers=True)
+        fail_superpeer(bed, "sp-0")
+        recover_superpeer(bed, sp)
+        assert bed.superpeers["sp-0"] is sp
+        assert sp.channel_clients == {0: [], 1: []}
+        with pytest.raises(ValueError):
+            recover_superpeer(bed, sp)  # already running
 
 
 class TestAvailabilityModel:

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.circuit import (
     ClientHopHandshake,
-    CircuitBuilder,
     mix_process_create,
     new_circuit_id,
 )
@@ -16,7 +15,7 @@ from repro.core.invariants import (
     mix_knowledge,
 )
 from repro.core.rendezvous import CallError
-from repro.crypto.onion import CELL_SIZE, unwrap_layer, wrap_onion
+from repro.crypto.onion import wrap_onion
 
 from conftest import build_testbed
 

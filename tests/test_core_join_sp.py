@@ -19,7 +19,6 @@ from repro.core.signaling import (
     ChannelGrant,
     DOWNSTREAM_PACKET_SIZE,
     IncomingCallAnnouncement,
-    KIND_GRANT,
     KIND_INCOMING,
     KIND_VOIP,
     make_downstream_chaff,

@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.crypto.dtls import (
-    DTLSLink,
     HandshakeError,
     _HandshakeState,
     establish_link,

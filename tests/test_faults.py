@@ -1,0 +1,267 @@
+"""Tests: fault plans, the injector, and chaos-run determinism."""
+
+import pytest
+
+from repro.core.blacklist import SPMonitor
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import Link
+from repro.netsim.node import Node
+from repro.simulation.chaos import (
+    ChaosConfig,
+    blacklist_plan,
+    default_plan,
+    run_chaos,
+)
+
+from conftest import build_testbed
+
+
+def _bed():
+    return build_testbed(zone_specs=[("zone-EU", "dc-eu", 2)])
+
+
+def _small_config(**overrides):
+    defaults = dict(horizon_s=6.0, n_live_clients=8, n_direct_clients=4,
+                    round_interval_s=0.05)
+    defaults.update(overrides)
+    return ChaosConfig(**defaults)
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.MIX_CRASH, at_s=-1.0, target="m")
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.MIX_CRASH, at_s=0.0, target="")
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.MIX_CRASH, at_s=0.0, target="m",
+                      duration_s=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.LOSS_BURST, at_s=0.0, target="m",
+                      duration_s=1.0, loss=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.JITTER_BURST, at_s=0.0, target="m",
+                      duration_s=1.0, jitter_ms=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.MIX_CRASH, at_s=0.0, target="m",
+                      detection_delay_s=-0.5)
+
+    def test_degradations_require_duration(self):
+        for kind in (FaultKind.LINK_DEGRADE, FaultKind.LINK_PARTITION,
+                     FaultKind.LOSS_BURST, FaultKind.JITTER_BURST):
+            with pytest.raises(ValueError):
+                FaultSpec(kind=kind, at_s=0.0, target="sp")
+
+    def test_crash_duration_optional(self):
+        spec = FaultSpec(kind=FaultKind.SP_CRASH, at_s=1.0, target="sp")
+        assert spec.duration_s is None
+
+
+class TestFaultPlan:
+    def test_specs_sorted_by_time(self):
+        late = FaultSpec(kind=FaultKind.MIX_CRASH, at_s=5.0, target="m")
+        early = FaultSpec(kind=FaultKind.SP_CRASH, at_s=1.0, target="s")
+        plan = FaultPlan([late, early])
+        assert [s.at_s for s in plan] == [1.0, 5.0]
+        assert len(plan) == 2
+
+    def test_signature_is_content_addressed(self):
+        spec = FaultSpec(kind=FaultKind.MIX_CRASH, at_s=1.0, target="m")
+        other = FaultSpec(kind=FaultKind.MIX_CRASH, at_s=2.0, target="m")
+        assert FaultPlan([spec]).signature() == \
+            FaultPlan([spec]).signature()
+        assert FaultPlan([spec]).signature() != \
+            FaultPlan([other]).signature()
+
+    def test_generate_is_seed_deterministic(self):
+        kwargs = dict(horizon_s=10.0, mix_ids=["m0", "m1"],
+                      sp_ids=["s0", "s1"], n_faults=6)
+        a = FaultPlan.generate(seed=4, **kwargs)
+        b = FaultPlan.generate(seed=4, **kwargs)
+        c = FaultPlan.generate(seed=5, **kwargs)
+        assert a.signature() == b.signature()
+        assert a.signature() != c.signature()
+        assert len(a) == 6
+
+    def test_generate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(seed=0, horizon_s=0.0, mix_ids=["m"])
+        with pytest.raises(ValueError):
+            FaultPlan.generate(seed=0, horizon_s=1.0)
+
+
+class TestInjectorCrashes:
+    def test_mix_crash_detection_and_recovery(self):
+        bed = _bed()
+        for i in range(4):
+            bed.add_client(f"c{i}", "zone-EU")
+        loop = EventLoop(seed=1)
+        injector = FaultInjector(bed, loop)
+        target = bed.clients["c0"].mix_id
+        plan = FaultPlan([FaultSpec(
+            kind=FaultKind.MIX_CRASH, at_s=1.0, target=target,
+            duration_s=3.0, detection_delay_s=0.5)])
+        plan.compile_onto(loop, injector)
+        loop.run(until=1.2)
+        # Unclean crash: mix gone but directory still lists it.
+        assert target not in bed.mixes
+        assert target in bed.zones["zone-EU"].mix_ids
+        loop.run(until=2.0)
+        assert target not in bed.zones["zone-EU"].mix_ids
+        loop.run(until=5.0)
+        # Recovered: back in the deployment and the directory.
+        assert target in bed.mixes
+        assert target in bed.zones["zone-EU"].mix_ids
+        actions = [(e.action, e.target) for e in injector.timeline]
+        assert actions == [("injected", target), ("detected", target),
+                           ("recovered", target)]
+        assert injector.orphans[target]  # c0 at least
+
+    def test_sp_crash_and_recovery(self):
+        bed = _bed()
+        mix = bed.mixes["zone-EU/mix-0"]
+        mix.configure_channels(2)
+        bed.add_superpeer("sp-0", mix.mix_id, channels=[0, 1])
+        bed.add_client("c0", "zone-EU", k=2, via_superpeers=True)
+        loop = EventLoop(seed=1)
+        injector = FaultInjector(bed, loop)
+        plan = FaultPlan([FaultSpec(
+            kind=FaultKind.SP_CRASH, at_s=1.0, target="sp-0",
+            duration_s=2.0)])
+        plan.compile_onto(loop, injector)
+        loop.run(until=1.5)
+        assert "sp-0" not in bed.superpeers
+        loop.run(until=4.0)
+        assert "sp-0" in bed.superpeers
+        assert bed.superpeers["sp-0"].channel_clients == {0: [], 1: []}
+        assert [e.action for e in injector.timeline] == \
+            ["injected", "recovered"]
+
+    def test_double_crash_is_skipped_not_fatal(self):
+        bed = _bed()
+        loop = EventLoop(seed=1)
+        injector = FaultInjector(bed, loop)
+        plan = FaultPlan([
+            FaultSpec(kind=FaultKind.MIX_CRASH, at_s=1.0,
+                      target="zone-EU/mix-0"),
+            FaultSpec(kind=FaultKind.MIX_CRASH, at_s=2.0,
+                      target="zone-EU/mix-0"),
+        ])
+        plan.compile_onto(loop, injector)
+        loop.run()
+        assert [e.action for e in injector.timeline] == \
+            ["injected", "skipped"]
+
+    def test_crash_hooks_fire_with_orphans(self):
+        bed = _bed()
+        bed.add_client("c0", "zone-EU")
+        loop = EventLoop(seed=1)
+        injector = FaultInjector(bed, loop)
+        seen = []
+        injector.on_mix_crash.append(
+            lambda spec, orphans: seen.append((spec.target, orphans)))
+        target = bed.clients["c0"].mix_id
+        plan = FaultPlan([FaultSpec(kind=FaultKind.MIX_CRASH, at_s=1.0,
+                                    target=target)])
+        plan.compile_onto(loop, injector)
+        loop.run()
+        assert seen == [(target, ["c0"])]
+
+
+class TestInjectorDegradations:
+    def test_link_degrade_mutates_and_restores_link(self):
+        loop = EventLoop(seed=1)
+        link = Link(loop, Node("a", loop), Node("b", loop),
+                    one_way_delay=0.01)
+        bed = _bed()
+        injector = FaultInjector(bed, loop, links={"a->b": link})
+        plan = FaultPlan([FaultSpec(
+            kind=FaultKind.LINK_DEGRADE, at_s=1.0, target="a->b",
+            duration_s=2.0, loss=0.2, jitter_ms=50.0)])
+        plan.compile_onto(loop, injector)
+        loop.run(until=1.5)
+        assert link.loss_rate == 0.2
+        assert link.jitter_std == 0.05
+        loop.run(until=4.0)
+        assert link.loss_rate == 0.0
+        assert link.jitter_std == 0.0
+
+    def test_partition_forces_availability_down(self):
+        loop = EventLoop(seed=1)
+        bed = _bed()
+        monitor = SPMonitor()
+        injector = FaultInjector(bed, loop, monitor=monitor,
+                                 sample_interval_s=0.1)
+        plan = FaultPlan([FaultSpec(
+            kind=FaultKind.LINK_PARTITION, at_s=0.5, target="sp-x",
+            duration_s=2.0)])
+        plan.compile_onto(loop, injector)
+        loop.run(until=5.0)
+        assert monitor.is_blacklisted("sp-x")
+        assert monitor.records["sp-x"].availability == 0.0
+
+    def test_degradation_sampling_stops_at_window_end(self):
+        loop = EventLoop(seed=1)
+        bed = _bed()
+        monitor = SPMonitor(min_samples=1000)  # never blacklists here
+        injector = FaultInjector(bed, loop, monitor=monitor,
+                                 sample_interval_s=0.25)
+        plan = FaultPlan([FaultSpec(
+            kind=FaultKind.LOSS_BURST, at_s=0.0, target="sp-x",
+            duration_s=1.0, loss=0.5)])
+        plan.compile_onto(loop, injector)
+        loop.run(until=10.0)
+        n_at_window_end = len(monitor.records["sp-x"].loss_samples)
+        assert 4 <= n_at_window_end <= 5
+        assert not monitor.is_blacklisted("sp-x")
+
+
+class TestChaosScenario:
+    def test_acceptance_scenario_mix_and_sp_killed_mid_call(self):
+        report = run_chaos(_small_config())
+        # ≥ 1 documented successful mid-call failover, with the call
+        # actually resuming on a surviving SP's channel.
+        assert len(report.survived_failovers) >= 1
+        assert report.mid_call_failover_demonstrated
+        for record in report.survived_failovers:
+            assert record.new_channel != record.old_channel
+        # Every orphan of the mix crash re-joined through backoff.
+        assert report.rejoins
+        assert report.all_rejoined
+        for stats in report.rejoins:
+            assert stats.attempts >= 1
+            assert stats.latency_s > 0
+        # Structured timeline documents the whole story.
+        actions = {e.action for e in report.timeline}
+        assert {"injected", "failover", "rejoined"} <= actions
+
+    def test_blacklist_driven_failover(self):
+        report = run_chaos(_small_config(plan=blacklist_plan()))
+        assert "zone-live/sp-1" in report.blacklisted_sps
+        assert len(report.survived_failovers) >= 1
+        assert report.mid_call_failover_demonstrated
+        kinds = [(e.action, e.kind) for e in report.timeline]
+        assert ("blacklisted", "sp_quality") in kinds
+        assert ("failover", "call") in kinds
+
+    def test_same_seed_same_plan_identical_runs(self):
+        # The determinism regression: fault timeline, events processed,
+        # rejoin latencies, and failover outcomes all replay
+        # bit-for-bit.
+        a = run_chaos(_small_config())
+        b = run_chaos(_small_config())
+        assert a.determinism_key() == b.determinism_key()
+        assert a.events_processed == b.events_processed
+        assert [tuple(e.__dict__.items()) for e in a.timeline] == \
+            [tuple(e.__dict__.items()) for e in b.timeline]
+
+    def test_different_seed_diverges(self):
+        a = run_chaos(_small_config())
+        b = run_chaos(_small_config(seed=99))
+        assert a.determinism_key() != b.determinism_key()
+
+    def test_default_plans_have_stable_signatures(self):
+        assert default_plan().signature() == default_plan().signature()
+        assert default_plan().signature() != \
+            blacklist_plan().signature()

@@ -2,7 +2,6 @@
 smoke tests (every shipped example must run end to end)."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -78,6 +78,46 @@ class TestCancellation:
         e.cancel()
         assert loop.pending() == 1
 
+    def test_cancel_all_empties_queue(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(5):
+            loop.schedule(float(i + 1), lambda: fired.append(True))
+        loop.cancel_all()
+        assert loop.pending() == 0
+        loop.run()
+        assert fired == []
+        assert loop.events_processed == 0
+
+    def test_cancel_all_marks_outstanding_handles(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        periodic = loop.schedule_periodic(1.0, lambda: None)
+        loop.cancel_all()
+        assert handle.cancelled
+        # The periodic master handle is external to the queue, but its
+        # scheduled firing was cancelled so nothing ever re-arms.
+        loop.run(until=10.0)
+        assert loop.events_processed == 0
+        assert not periodic.cancelled  # master handle untouched
+
+    def test_run_advances_now_with_only_cancelled_queue(self):
+        loop = EventLoop()
+        e = loop.schedule(1.0, lambda: None)
+        e.cancel()
+        loop.run(until=5.0)
+        assert loop.now == 5.0
+
+    def test_run_max_events_with_only_cancelled_queue(self):
+        # Cancelled head events are drained before the max_events
+        # check, so this terminates with the clock advanced.
+        loop = EventLoop()
+        for _ in range(3):
+            loop.schedule(1.0, lambda: None).cancel()
+        loop.run(until=2.0, max_events=0)
+        assert loop.now == 2.0
+        assert loop.pending() == 0
+
 
 class TestRunLimits:
     def test_run_until_stops_clock_at_bound(self):
@@ -109,6 +149,19 @@ class TestRunLimits:
     def test_run_until_advances_clock_with_empty_queue(self):
         loop = EventLoop()
         loop.run(until=10.0)
+        assert loop.now == 10.0
+
+    def test_run_until_never_rewinds_clock(self):
+        loop = EventLoop()
+        loop.run(until=10.0)
+        loop.run(until=3.0)
+        assert loop.now == 10.0
+
+    def test_run_until_earlier_bound_with_pending_event_keeps_now(self):
+        loop = EventLoop()
+        loop.schedule(20.0, lambda: None)
+        loop.run(until=10.0)
+        loop.run(until=3.0)
         assert loop.now == 10.0
 
 

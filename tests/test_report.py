@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.report import (
     EvaluationReport,
-    ExperimentRow,
     run_evaluation,
 )
 

@@ -1,0 +1,220 @@
+"""Tests: timeout/retry/backoff primitives (§3.1, §3.5)."""
+
+import random
+
+import pytest
+
+from repro.core.retry import (
+    BackoffPolicy,
+    Deadline,
+    LoopRetry,
+    RetryError,
+    TimeoutExpired,
+    VirtualClock,
+    call_with_retries,
+)
+from repro.netsim.engine import EventLoop
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        clock.advance(2.5)
+        assert clock.now == 2.5
+
+    def test_cannot_go_backwards(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        clock = VirtualClock()
+        deadline = Deadline(clock, 3.0)
+        assert deadline.remaining == 3.0
+        clock.advance(2.0)
+        assert deadline.remaining == 1.0
+        assert not deadline.expired
+        clock.advance(1.0)
+        assert deadline.expired
+        with pytest.raises(TimeoutExpired):
+            deadline.check()
+
+    def test_works_against_event_loop_clock(self):
+        loop = EventLoop()
+        deadline = Deadline(loop, 1.0)
+        loop.schedule(2.0, lambda: None)
+        loop.run()
+        assert deadline.expired
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(VirtualClock(), 0.0)
+
+
+class TestBackoffPolicy:
+    def test_exponential_schedule(self):
+        policy = BackoffPolicy(base_delay_s=1.0, multiplier=2.0,
+                               max_delay_s=5.0, jitter=0.0)
+        assert [policy.delay_for(n) for n in (1, 2, 3, 4)] == \
+            [1.0, 2.0, 4.0, 5.0]  # capped at max_delay_s
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = BackoffPolicy(base_delay_s=1.0, jitter=0.25)
+        delays = [policy.delay_for(1, random.Random(7)) for _ in range(3)]
+        assert delays[0] == delays[1] == delays[2]
+        assert 0.75 <= delays[0] <= 1.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_delay_s=0.1, base_delay_s=0.2)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay_for(0)
+
+
+class TestCallWithRetries:
+    def test_succeeds_after_failures_accounting_backoff(self):
+        clock = VirtualClock()
+        calls = []
+
+        def flaky():
+            calls.append(clock.now)
+            if len(calls) < 3:
+                raise KeyError("dead mix still listed")
+            return "joined"
+
+        outcome = call_with_retries(
+            flaky, policy=BackoffPolicy(base_delay_s=1.0, jitter=0.0),
+            clock=clock, retry_on=(KeyError,))
+        assert outcome.value == "joined"
+        assert outcome.attempts == 3
+        assert outcome.backoff_s == 3.0  # 1.0 + 2.0
+        assert calls == [0.0, 1.0, 3.0]
+
+    def test_gives_up_after_max_attempts(self):
+        def always_fails():
+            raise KeyError("down")
+
+        with pytest.raises(RetryError) as err:
+            call_with_retries(
+                always_fails,
+                policy=BackoffPolicy(max_attempts=3, jitter=0.0),
+                retry_on=(KeyError,))
+        assert err.value.attempts == 3
+        assert isinstance(err.value.last_error, KeyError)
+
+    def test_unlisted_exception_propagates(self):
+        def boom():
+            raise ZeroDivisionError
+
+        with pytest.raises(ZeroDivisionError):
+            call_with_retries(boom, retry_on=(KeyError,))
+
+    def test_deadline_cuts_retries_short(self):
+        clock = VirtualClock()
+
+        def always_fails():
+            raise KeyError("down")
+
+        with pytest.raises(RetryError) as err:
+            call_with_retries(
+                always_fails,
+                policy=BackoffPolicy(base_delay_s=10.0, max_delay_s=10.0,
+                                     jitter=0.0, max_attempts=5),
+                clock=clock, deadline=Deadline(clock, 5.0),
+                retry_on=(KeyError,))
+        assert err.value.attempts == 1  # backoff would overrun deadline
+
+    def test_on_retry_hook_observes_failures(self):
+        seen = []
+        clock = VirtualClock()
+
+        def flaky():
+            if not seen:
+                raise KeyError("once")
+            return 1
+
+        call_with_retries(
+            flaky, policy=BackoffPolicy(base_delay_s=0.5, jitter=0.0),
+            clock=clock, retry_on=(KeyError,),
+            on_retry=lambda n, exc, delay: seen.append((n, delay)))
+        assert seen == [(1, 0.5)]
+
+
+class TestLoopRetry:
+    def test_succeeds_on_loop_with_backoff(self):
+        loop = EventLoop(seed=3)
+        attempts = []
+
+        def flaky():
+            attempts.append(loop.now)
+            if len(attempts) < 3:
+                raise RuntimeError("not yet")
+            return "ok"
+
+        done = []
+        task = LoopRetry(
+            loop=loop, fn=flaky,
+            policy=BackoffPolicy(base_delay_s=1.0, jitter=0.0),
+            retry_on=(RuntimeError,),
+            on_success=lambda t: done.append(t.value))
+        loop.run()
+        assert done == ["ok"]
+        assert task.succeeded and task.done
+        assert task.attempts == 3
+        assert task.backoff_s == 3.0
+        assert attempts == [0.0, 1.0, 3.0]
+        assert task.elapsed_s == 3.0
+
+    def test_gives_up_and_reports(self):
+        loop = EventLoop(seed=3)
+
+        def always_fails():
+            raise RuntimeError("down for good")
+
+        failures = []
+        task = LoopRetry(
+            loop=loop, fn=always_fails,
+            policy=BackoffPolicy(max_attempts=2, base_delay_s=0.5,
+                                 jitter=0.0),
+            retry_on=(RuntimeError,),
+            on_give_up=lambda t: failures.append(t.attempts))
+        loop.run()
+        assert failures == [2]
+        assert task.done and not task.succeeded
+        assert isinstance(task.failure, RuntimeError)
+
+    def test_start_delay_defers_first_attempt(self):
+        loop = EventLoop()
+        times = []
+        LoopRetry(loop=loop, fn=lambda: times.append(loop.now),
+                  start_delay_s=2.0)
+        loop.run()
+        assert times == [2.0]
+
+    def test_jitter_uses_loop_rng_by_default(self):
+        def run_once():
+            loop = EventLoop(seed=11)
+            calls = []
+
+            def flaky():
+                calls.append(loop.now)
+                if len(calls) < 2:
+                    raise RuntimeError("once")
+
+            LoopRetry(loop=loop, fn=flaky,
+                      policy=BackoffPolicy(base_delay_s=1.0, jitter=0.3),
+                      retry_on=(RuntimeError,))
+            loop.run()
+            return calls
+
+        assert run_once() == run_once()  # same seed, same jitter

@@ -5,7 +5,7 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.voip.codec import CODECS, G711, G729, OPUS_NB, Codec
+from repro.voip.codec import CODECS, G711, G729
 from repro.voip.emodel import (
     EModel,
     delay_impairment,

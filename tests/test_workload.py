@@ -1,6 +1,5 @@
 """Tests for the workload substrate: CDRs, social graphs, generator."""
 
-import math
 import random
 
 import numpy as np
@@ -13,7 +12,6 @@ from repro.workload.datasets import (
     FACEBOOK,
     MOBILE,
     MOBILE_CALLS_PER_USER_DAY,
-    MOBILE_PEAK_DUTY_CYCLE,
     TWITTER,
 )
 from repro.workload.generator import SyntheticTraceConfig, generate_trace
