@@ -9,6 +9,7 @@ Gives a downstream user one-command access to the headline results:
 * ``cost``        — the §4.1.6 cost model sweep.
 * ``quality``     — the Fig. 7 latency/MOS measurement.
 * ``experiments`` — run the whole evaluation (E1–E9 summaries).
+* ``lint``        — herdlint, the protocol-aware static-analysis gate.
 """
 
 from __future__ import annotations
@@ -125,6 +126,11 @@ def _cmd_quality(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run
+    return run(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import run_evaluation
     report = run_evaluation(n_users=args.users, seed=args.seed)
@@ -185,6 +191,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--users", type=int, default=4000)
     p_report.add_argument("--seed", type=int, default=20150817)
 
+    from repro.lint.cli import add_lint_arguments
+    p_lint = sub.add_parser(
+        "lint", help="herdlint: determinism & crypto-hygiene checks")
+    add_lint_arguments(p_lint)
+
     p_all = sub.add_parser("experiments", help="run the evaluation")
     p_all.add_argument("--users", type=int, default=5000)
     p_all.add_argument("--days", type=int, default=1)
@@ -204,6 +215,7 @@ _HANDLERS = {
     "quality": _cmd_quality,
     "report": _cmd_report,
     "experiments": _cmd_experiments,
+    "lint": _cmd_lint,
 }
 
 

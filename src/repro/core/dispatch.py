@@ -1,0 +1,207 @@
+"""Control-plane dispatch state machines, one per role (§3.2-§3.6).
+
+:mod:`repro.core.wire` gives every control message a strict decoder;
+this module adds the other half of the contract: for *every* defined
+message type, each role decides up front whether it handles the type or
+refuses it.  The decision is a data literal — a ``*_DISPATCH`` dict
+from ``MSG_*`` constant to handler (or the :data:`REJECT` sentinel) —
+so the herdlint HL006 rule can check exhaustiveness statically: adding
+a message type to ``wire.py`` without teaching every role about it
+fails the lint gate before it can fail in a deployment.
+
+Roles:
+
+* **Mix** — accepts circuit CREATEs, join requests, rendezvous
+  registrations, and relays call setup (INVITE/ACCEPT) toward the
+  rendezvous point.  It must never accept the client-bound replies.
+* **Client** — accepts CREATED, join responses, and call setup
+  delivered over its circuit; it must never accept the mix-bound
+  requests (a client is not a relay).
+* **Superpeer** — rejects *every* control message (invariant I8: "SPs
+  operate on opaque ciphertext only"); a control message addressed to
+  an SP is a protocol violation by definition.
+
+Handlers decode the payload and call into a role-specific
+``*ControlPlane`` object, keeping the wire layer free of protocol
+state and the protocol objects free of wire parsing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.circuit import CreateReply, CreateRequest
+from repro.core.wire import (
+    MSG_ACCEPT,
+    MSG_CREATE,
+    MSG_CREATED,
+    MSG_INVITE,
+    MSG_JOIN_REQUEST,
+    MSG_JOIN_RESPONSE,
+    MSG_RENDEZVOUS_REGISTER,
+    CallSetup,
+    JoinRequest,
+    JoinResponse,
+    RendezvousRegister,
+    WireError,
+    decode_call_setup,
+    decode_create,
+    decode_created,
+    decode_join_request,
+    decode_join_response,
+    decode_rendezvous_register,
+    encode_created,
+    encode_join_response,
+    type_name,
+)
+
+
+class Reject:
+    """Sentinel marking a message type a role explicitly refuses."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "REJECT"
+
+
+REJECT = Reject()
+
+
+class MixControlPlane:
+    """Callbacks a mix implementation provides to its dispatcher."""
+
+    def on_create(self, request: CreateRequest) -> CreateReply:
+        raise NotImplementedError
+
+    def on_join_request(self, request: JoinRequest) -> JoinResponse:
+        raise NotImplementedError
+
+    def on_rendezvous_register(self, message: RendezvousRegister) -> None:
+        raise NotImplementedError
+
+    def on_call_setup(self, message: CallSetup) -> None:
+        """Relay an INVITE/ACCEPT toward the rendezvous point."""
+        raise NotImplementedError
+
+
+class ClientControlPlane:
+    """Callbacks a client implementation provides to its dispatcher."""
+
+    def on_created(self, reply: CreateReply) -> None:
+        raise NotImplementedError
+
+    def on_join_response(self, response: JoinResponse) -> None:
+        raise NotImplementedError
+
+    def on_call_setup(self, message: CallSetup) -> None:
+        """An INVITE ringing in, or an ACCEPT answering our INVITE."""
+        raise NotImplementedError
+
+
+def _mix_create(plane: MixControlPlane, data: bytes) -> Optional[bytes]:
+    return encode_created(plane.on_create(decode_create(data)))
+
+
+def _mix_join_request(plane: MixControlPlane,
+                      data: bytes) -> Optional[bytes]:
+    return encode_join_response(
+        plane.on_join_request(decode_join_request(data)))
+
+
+def _mix_rendezvous_register(plane: MixControlPlane,
+                             data: bytes) -> Optional[bytes]:
+    plane.on_rendezvous_register(decode_rendezvous_register(data))
+    return None
+
+
+def _mix_call_setup(plane: MixControlPlane,
+                    data: bytes) -> Optional[bytes]:
+    plane.on_call_setup(decode_call_setup(data))
+    return None
+
+
+def _client_created(plane: ClientControlPlane,
+                    data: bytes) -> Optional[bytes]:
+    plane.on_created(decode_created(data))
+    return None
+
+
+def _client_join_response(plane: ClientControlPlane,
+                          data: bytes) -> Optional[bytes]:
+    plane.on_join_response(decode_join_response(data))
+    return None
+
+
+def _client_call_setup(plane: ClientControlPlane,
+                       data: bytes) -> Optional[bytes]:
+    plane.on_call_setup(decode_call_setup(data))
+    return None
+
+
+Handler = Callable[[object, bytes], Optional[bytes]]
+
+MIX_DISPATCH: Dict[int, object] = {
+    MSG_CREATE: _mix_create,
+    MSG_CREATED: REJECT,
+    MSG_JOIN_REQUEST: _mix_join_request,
+    MSG_JOIN_RESPONSE: REJECT,
+    MSG_RENDEZVOUS_REGISTER: _mix_rendezvous_register,
+    MSG_INVITE: _mix_call_setup,
+    MSG_ACCEPT: _mix_call_setup,
+}
+
+CLIENT_DISPATCH: Dict[int, object] = {
+    MSG_CREATE: REJECT,
+    MSG_CREATED: _client_created,
+    MSG_JOIN_REQUEST: REJECT,
+    MSG_JOIN_RESPONSE: _client_join_response,
+    MSG_RENDEZVOUS_REGISTER: REJECT,
+    MSG_INVITE: _client_call_setup,
+    MSG_ACCEPT: _client_call_setup,
+}
+
+#: Invariant I8: a superpeer relays ciphertext and must refuse every
+#: control message; each type is rejected *explicitly* so HL006 can
+#: prove the refusal was a decision, not an omission.
+SUPERPEER_DISPATCH: Dict[int, object] = {
+    MSG_CREATE: REJECT,
+    MSG_CREATED: REJECT,
+    MSG_JOIN_REQUEST: REJECT,
+    MSG_JOIN_RESPONSE: REJECT,
+    MSG_RENDEZVOUS_REGISTER: REJECT,
+    MSG_INVITE: REJECT,
+    MSG_ACCEPT: REJECT,
+}
+
+
+def dispatch(table: Dict[int, object], plane: object, data: bytes,
+             role: str = "peer") -> Optional[bytes]:
+    """Route one encoded control message through a role's table.
+
+    Returns the encoded reply for request/response exchanges
+    (CREATE→CREATED, JOIN_REQUEST→JOIN_RESPONSE), else None.  Raises
+    :class:`WireError` for empty input, unknown types, and types the
+    role explicitly rejects — the same "never act on a malformed
+    message" posture as the decoders.
+    """
+    if not data:
+        raise WireError("empty control message")
+    msg_type = data[0]
+    handler = table.get(msg_type)
+    if handler is None:
+        raise WireError(f"unknown message type 0x{msg_type:02x}")
+    if handler is REJECT:
+        raise WireError(f"{role} rejects {type_name(msg_type)}")
+    return handler(plane, data)  # type: ignore[operator]
+
+
+def dispatch_mix(plane: MixControlPlane, data: bytes) -> Optional[bytes]:
+    return dispatch(MIX_DISPATCH, plane, data, role="mix")
+
+
+def dispatch_client(plane: ClientControlPlane,
+                    data: bytes) -> Optional[bytes]:
+    return dispatch(CLIENT_DISPATCH, plane, data, role="client")
+
+
+def dispatch_superpeer(plane: object, data: bytes) -> Optional[bytes]:
+    return dispatch(SUPERPEER_DISPATCH, plane, data, role="superpeer")

@@ -38,6 +38,28 @@ MSG_RENDEZVOUS_REGISTER = 0x05
 MSG_INVITE = 0x06
 MSG_ACCEPT = 0x07
 
+#: Name → type byte for every control message.  The dispatch state
+#: machines (:mod:`repro.core.dispatch`) and the herdlint HL006
+#: exhaustiveness rule both treat this as the authoritative list: a new
+#: MSG_ constant must be added here and handled (or explicitly
+#: rejected) by every role's dispatch table.
+MESSAGE_TYPES = {
+    "MSG_CREATE": MSG_CREATE,
+    "MSG_CREATED": MSG_CREATED,
+    "MSG_JOIN_REQUEST": MSG_JOIN_REQUEST,
+    "MSG_JOIN_RESPONSE": MSG_JOIN_RESPONSE,
+    "MSG_RENDEZVOUS_REGISTER": MSG_RENDEZVOUS_REGISTER,
+    "MSG_INVITE": MSG_INVITE,
+    "MSG_ACCEPT": MSG_ACCEPT,
+}
+_NAME_BY_TYPE = {value: name for name, value in MESSAGE_TYPES.items()}
+
+
+def type_name(msg_type: int) -> str:
+    """Human-readable name of a message type byte."""
+    return _NAME_BY_TYPE.get(msg_type, f"0x{msg_type:02x}")
+
+
 _U16 = struct.Struct("<H")
 _U64 = struct.Struct("<Q")
 

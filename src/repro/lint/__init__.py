@@ -1,0 +1,28 @@
+"""herdlint: protocol-aware static analysis for the Herd tree.
+
+Public surface:
+
+* :func:`run_lint` / :class:`LintConfig` / :class:`LintResult` — run
+  the rule set as a library.
+* :func:`all_rules` — the registry (HL001-HL006, see
+  :mod:`repro.lint.rules`).
+* reporters in :mod:`repro.lint.reporters` (text / JSON / SARIF).
+* ``python -m repro.lint`` and ``repro lint`` — the CLI gate used in
+  CI.
+"""
+
+from repro.lint.engine import (
+    Finding,
+    LintConfig,
+    LintResult,
+    all_rules,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "all_rules",
+    "run_lint",
+]

@@ -1,0 +1,7 @@
+"""HL001 clean fixture: time comes from the virtual clock."""
+
+
+def timestamp_events(loop):
+    started = loop.now
+    loop.schedule(1.5, lambda: None)
+    return started

@@ -1,0 +1,10 @@
+"""HL001 suppressed fixture: same reads, explicitly waived."""
+
+import time
+from datetime import datetime
+
+
+def timestamp_events():
+    started = time.time()  # herdlint: disable=HL001
+    stamped = datetime.now()  # herdlint: disable
+    return started, stamped

@@ -1,0 +1,12 @@
+"""HL001 positive fixture: wall-clock reads in a core/ path."""
+
+import time
+from datetime import datetime
+from time import monotonic as mono
+
+
+def timestamp_events():
+    started = time.time()
+    elapsed = mono()
+    stamped = datetime.now()
+    return started, elapsed, stamped

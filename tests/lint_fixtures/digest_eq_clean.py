@@ -1,0 +1,9 @@
+"""HL003 clean fixture: constant-time comparison."""
+
+import hmac
+
+
+def verify(tag, expected_mac, version):
+    if version == 2:  # ordinary comparison, not a digest
+        return hmac.compare_digest(tag, expected_mac)
+    return False

@@ -1,0 +1,5 @@
+"""HL003 suppressed fixture: test-only tag equality, waived."""
+
+
+def verify(tag, expected_mac):
+    return tag == expected_mac  # herdlint: disable=HL003

@@ -1,0 +1,11 @@
+"""HL003 positive fixture: variable-time MAC/digest comparisons."""
+
+import hashlib
+
+
+def verify(tag, expected_mac, payload):
+    if tag == expected_mac:
+        return True
+    if hashlib.sha256(payload).digest() != tag:
+        return False
+    return payload.digest() == expected_mac

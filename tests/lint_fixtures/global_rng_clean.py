@@ -1,0 +1,11 @@
+"""HL002 clean fixture: seeded RNGs threaded explicitly."""
+
+import random
+
+import numpy as np
+
+
+def draw_samples(rng: random.Random):
+    gen = np.random.default_rng(7)
+    fallback = random.Random(0)
+    return rng.random(), gen.random(), fallback.random()

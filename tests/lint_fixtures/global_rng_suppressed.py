@@ -1,0 +1,9 @@
+"""HL002 suppressed fixture."""
+
+import random
+
+
+def draw_samples():
+    a = random.random()  # herdlint: disable=HL002
+    unseeded = random.Random()  # herdlint: disable=HL002,HL001
+    return a, unseeded

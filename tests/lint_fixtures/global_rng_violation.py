@@ -1,0 +1,15 @@
+"""HL002 positive fixture: global and unseeded RNG use."""
+
+import random
+from random import randint
+
+import numpy as np
+
+
+def draw_samples():
+    a = random.random()
+    b = randint(0, 10)
+    unseeded = random.Random()
+    np.random.seed(4)
+    c = np.random.rand(3)
+    return a, b, unseeded, c

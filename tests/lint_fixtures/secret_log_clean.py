@@ -1,0 +1,10 @@
+"""HL004 clean fixture: log lengths and public halves only."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def describe(session_key, public_key):
+    logger.info("derived a %d-byte key", len(session_key))
+    return f"public half {public_key.hex()}"

@@ -1,0 +1,13 @@
+"""HL004 positive fixture: secrets reaching logs and messages."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def leak(session_key, ikm):
+    logger.info("derived %s", session_key)
+    banner = f"using key {session_key}"
+    shown = repr(ikm)
+    raise ValueError(session_key)
+    return banner, shown

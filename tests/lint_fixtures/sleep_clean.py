@@ -1,0 +1,5 @@
+"""HL005 clean fixture: delay modelled as a scheduled event."""
+
+
+def wait_for_round(loop, callback):
+    loop.schedule(0.25, callback)

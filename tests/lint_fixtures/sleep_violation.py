@@ -1,0 +1,9 @@
+"""HL005 positive fixture: blocking sleep in callback code."""
+
+import time
+from time import sleep
+
+
+def wait_for_round():
+    time.sleep(0.25)
+    sleep(1)

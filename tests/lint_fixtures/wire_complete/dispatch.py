@@ -1,0 +1,20 @@
+"""HL006 clean fixture: every type handled or explicitly rejected."""
+
+from wire import MSG_DATA, MSG_PING, MSG_PONG
+
+
+def handle_ping(data):
+    return data
+
+
+def handle_data(data):
+    return data
+
+
+REJECT = object()
+
+NODE_DISPATCH = {
+    MSG_PING: handle_ping,
+    MSG_PONG: REJECT,
+    MSG_DATA: handle_data,
+}

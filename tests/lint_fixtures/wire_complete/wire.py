@@ -1,0 +1,5 @@
+"""HL006 clean fixture wire module."""
+
+MSG_PING = 0x01
+MSG_PONG = 0x02
+MSG_DATA = 0x03

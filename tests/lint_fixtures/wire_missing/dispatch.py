@@ -1,0 +1,15 @@
+"""HL006 positive fixture: the dispatch table forgets MSG_DATA."""
+
+from wire import MSG_PING, MSG_PONG
+
+
+def handle_ping(data):
+    return data
+
+
+REJECT = object()
+
+NODE_DISPATCH = {
+    MSG_PING: handle_ping,
+    MSG_PONG: REJECT,
+}

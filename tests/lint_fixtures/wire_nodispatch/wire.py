@@ -1,0 +1,5 @@
+"""HL006 fixture: message types defined but no dispatch table in the
+scanned set at all."""
+
+MSG_HELLO = 0x01
+MSG_GOODBYE = 0x02

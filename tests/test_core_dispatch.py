@@ -1,0 +1,177 @@
+"""Tests for the control-plane dispatch state machines
+(repro.core.dispatch): exhaustive tables, role separation, strict
+rejection of unknown/empty/foreign messages."""
+
+import pytest
+
+from repro.core import dispatch
+from repro.core.circuit import CreateReply, CreateRequest
+from repro.core.dispatch import (
+    CLIENT_DISPATCH,
+    MIX_DISPATCH,
+    REJECT,
+    SUPERPEER_DISPATCH,
+    ClientControlPlane,
+    MixControlPlane,
+    dispatch_client,
+    dispatch_mix,
+    dispatch_superpeer,
+)
+from repro.core.wire import (
+    MESSAGE_TYPES,
+    CallSetup,
+    JoinRequest,
+    JoinResponse,
+    RendezvousRegister,
+    WireError,
+    decode_created,
+    decode_join_response,
+    encode_call_setup,
+    encode_create,
+    encode_created,
+    encode_join_request,
+    encode_join_response,
+    encode_rendezvous_register,
+    type_name,
+)
+
+
+class RecordingMix(MixControlPlane):
+    def __init__(self):
+        self.seen = []
+
+    def on_create(self, request: CreateRequest) -> CreateReply:
+        self.seen.append(request)
+        return CreateReply(request.circuit_id, b"\x0a" * 32, b"\x0b" * 16)
+
+    def on_join_request(self, request: JoinRequest) -> JoinResponse:
+        self.seen.append(request)
+        return JoinResponse(41, b"\x0c" * 32, (("sp-7", 3, 1),))
+
+    def on_rendezvous_register(self, message: RendezvousRegister) -> None:
+        self.seen.append(message)
+
+    def on_call_setup(self, message: CallSetup) -> None:
+        self.seen.append(message)
+
+
+class RecordingClient(ClientControlPlane):
+    def __init__(self):
+        self.seen = []
+
+    def on_created(self, reply: CreateReply) -> None:
+        self.seen.append(reply)
+
+    def on_join_response(self, response: JoinResponse) -> None:
+        self.seen.append(response)
+
+    def on_call_setup(self, message: CallSetup) -> None:
+        self.seen.append(message)
+
+
+def test_tables_cover_every_wire_message_type():
+    """Runtime mirror of the HL006 static check."""
+    expected = set(MESSAGE_TYPES.values())
+    for table in (MIX_DISPATCH, CLIENT_DISPATCH, SUPERPEER_DISPATCH):
+        assert set(table) == expected
+
+
+def test_mix_create_roundtrip():
+    mix = RecordingMix()
+    request = CreateRequest(circuit_id=9, client_ephemeral=b"\x01" * 32)
+    reply_bytes = dispatch_mix(mix, encode_create(request))
+    reply = decode_created(reply_bytes)
+    assert reply.circuit_id == 9
+    assert mix.seen == [request]
+
+
+def test_mix_join_roundtrip():
+    mix = RecordingMix()
+    request = JoinRequest("alice", b"\x05" * 32)
+    response = decode_join_response(
+        dispatch_mix(mix, encode_join_request(request)))
+    assert response.numeric_id == 41
+    assert response.attachments == (("sp-7", 3, 1),)
+
+
+def test_mix_handles_rendezvous_and_call_setup():
+    mix = RecordingMix()
+    register = RendezvousRegister(b"\x06" * 32, "mix-rdv")
+    assert dispatch_mix(mix, encode_rendezvous_register(register)) is None
+    invite = CallSetup(is_accept=False, call_id=77, ephemeral=b"\x07" * 32)
+    accept = CallSetup(is_accept=True, call_id=77, ephemeral=b"\x08" * 32)
+    assert dispatch_mix(mix, encode_call_setup(invite)) is None
+    assert dispatch_mix(mix, encode_call_setup(accept)) is None
+    assert mix.seen == [register, invite, accept]
+
+
+def test_client_handles_replies_and_call_setup():
+    client = RecordingClient()
+    created = CreateReply(3, b"\x0a" * 32, b"\x0b" * 16)
+    joined = JoinResponse(12, b"\x0c" * 32)
+    ring = CallSetup(is_accept=False, call_id=5, ephemeral=b"\x0d" * 32)
+    assert dispatch_client(client, encode_created(created)) is None
+    assert dispatch_client(client, encode_join_response(joined)) is None
+    assert dispatch_client(client, encode_call_setup(ring)) is None
+    assert client.seen == [created, joined, ring]
+
+
+def test_mix_rejects_client_bound_messages():
+    mix = RecordingMix()
+    created = encode_created(CreateReply(1, b"\x01" * 32, b"\x02" * 16))
+    with pytest.raises(WireError, match="mix rejects MSG_CREATED"):
+        dispatch_mix(mix, created)
+    joined = encode_join_response(JoinResponse(1, b"\x03" * 32))
+    with pytest.raises(WireError, match="mix rejects MSG_JOIN_RESPONSE"):
+        dispatch_mix(mix, joined)
+    assert mix.seen == []
+
+
+def test_client_rejects_mix_bound_messages():
+    client = RecordingClient()
+    create = encode_create(CreateRequest(1, b"\x01" * 32))
+    with pytest.raises(WireError, match="client rejects MSG_CREATE"):
+        dispatch_client(client, create)
+    register = encode_rendezvous_register(
+        RendezvousRegister(b"\x02" * 32, "mix-1"))
+    with pytest.raises(WireError,
+                       match="client rejects MSG_RENDEZVOUS_REGISTER"):
+        dispatch_client(client, register)
+    assert client.seen == []
+
+
+def test_superpeer_rejects_every_control_message():
+    """Invariant I8: the SP control plane is all-REJECT."""
+    assert all(handler is REJECT
+               for handler in SUPERPEER_DISPATCH.values())
+    for name, value in MESSAGE_TYPES.items():
+        with pytest.raises(WireError, match=f"superpeer rejects {name}"):
+            dispatch_superpeer(object(), bytes([value]) + b"\x00" * 4)
+
+
+def test_unknown_and_empty_messages_raise():
+    mix = RecordingMix()
+    with pytest.raises(WireError, match="unknown message type 0x7f"):
+        dispatch_mix(mix, b"\x7f\x00")
+    with pytest.raises(WireError, match="empty"):
+        dispatch_mix(mix, b"")
+
+
+def test_malformed_payload_never_reaches_the_plane():
+    """A handled type with a garbage body still raises WireError and
+    leaves the control plane untouched."""
+    mix = RecordingMix()
+    create = encode_create(CreateRequest(5, b"\x01" * 32))
+    with pytest.raises(WireError):
+        dispatch_mix(mix, create + b"\xff")  # trailing bytes
+    assert mix.seen == []
+
+
+def test_type_name_round_trip():
+    for name, value in MESSAGE_TYPES.items():
+        assert type_name(value) == name
+    assert type_name(0xEE) == "0xee"
+
+
+def test_dispatch_module_importable_via_package():
+    assert dispatch.MIX_DISPATCH is MIX_DISPATCH

@@ -1,0 +1,76 @@
+"""HL003 regression tests: every MAC/confirmation verification in the
+crypto and wire layers is constant-time, and tampered tags are
+rejected.
+
+The audit for this gate found no ``==`` digest comparisons (onion
+cells, obfuscation tags, and hop confirmations already used
+``hmac.compare_digest``); these tests pin that state so a regression
+fails both at runtime (tampering accepted) and statically (HL003).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.circuit import ClientHopHandshake, mix_process_create
+from repro.core.obfuscation import Bridge, ObfuscatedChannel
+from repro.crypto.onion import decode_cell, encode_cell
+from repro.lint import LintConfig, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_hl003_clean_in_crypto_and_wire_layers():
+    paths = [
+        REPO_ROOT / "src" / "repro" / "crypto",
+        REPO_ROOT / "src" / "repro" / "core" / "wire.py",
+        REPO_ROOT / "src" / "repro" / "core" / "circuit.py",
+        REPO_ROOT / "src" / "repro" / "core" / "obfuscation.py",
+        REPO_ROOT / "src" / "repro" / "core" / "signaling.py",
+    ]
+    result = run_lint([str(p) for p in paths],
+                      LintConfig(select=("HL003",)))
+    assert result.findings == []
+
+
+def test_tampered_cell_mac_rejected_bytewise():
+    """Flipping any single byte of the MAC must reject the cell — a
+    prefix-sensitive (variable-time ==) implementation typically breaks
+    this only for early bytes."""
+    mac_key = b"\x11" * 32
+    cell = encode_cell(b"voice frame", mac_key)
+    assert decode_cell(cell, mac_key) == b"voice frame"
+    for i in range(1, 9):  # the MAC is the cell's trailing bytes
+        tampered = bytearray(cell)
+        tampered[-i] ^= 0x01
+        with pytest.raises(ValueError, match="MAC invalid"):
+            decode_cell(bytes(tampered), mac_key)
+
+
+def test_tampered_obfuscation_tag_rejected():
+    bridge = Bridge(bridge_id="b-1", address="198.51.100.7",
+                    secret=b"\x22" * 32)
+    sender = ObfuscatedChannel(bridge)
+    receiver = ObfuscatedChannel(bridge)
+    datagram = sender.wrap(b"rtp payload")
+    assert receiver.unwrap(datagram) == b"rtp payload"
+    tampered = bytearray(datagram)
+    tampered[-1] ^= 0x80
+    with pytest.raises(ValueError, match="failed authentication"):
+        receiver.unwrap(bytes(tampered))
+
+
+def test_tampered_hop_confirmation_rejected():
+    import random
+    rng = random.Random(1234)
+    handshake = ClientHopHandshake(circuit_id=5, rng=rng)
+    reply, _mix_keys = mix_process_create(handshake.request(), rng=rng)
+    bad = type(reply)(reply.circuit_id, reply.mix_ephemeral,
+                     bytes(b ^ 0x01 for b in reply.confirmation))
+    with pytest.raises(ValueError, match="confirmation failed"):
+        handshake.finish(bad)
+    # the untampered reply still completes the handshake
+    good_handshake = ClientHopHandshake(circuit_id=6, rng=rng)
+    good_reply, mix_keys = mix_process_create(good_handshake.request(),
+                                              rng=rng)
+    assert good_handshake.finish(good_reply) == mix_keys
