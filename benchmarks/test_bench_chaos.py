@@ -20,7 +20,7 @@ from conftest import print_table
 
 
 def _cfg(**overrides):
-    defaults = dict(horizon_s=6.0, n_live_clients=8, n_direct_clients=4,
+    defaults = dict(horizon_s=6.0, n_clients=8, n_direct_clients=4,
                     round_interval_s=0.05)
     defaults.update(overrides)
     return ChaosConfig(**defaults)

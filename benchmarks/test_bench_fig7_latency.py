@@ -14,6 +14,7 @@ and Herd.
 
 import pytest
 
+from repro.obs.metrics import MetricsRegistry
 from repro.simulation.deployment import (
     DeploymentConfig,
     herd_extra_latency_ms,
@@ -29,8 +30,15 @@ QUALITY_MODEL = EModel(jitter_buffer_ms=20.0)
 
 
 @pytest.fixture(scope="module")
-def results():
-    return measure_pair_latencies(DeploymentConfig(n_probe_packets=400))
+def registry():
+    """One herdscope registry aggregating the whole Fig. 7 run."""
+    return MetricsRegistry()
+
+
+@pytest.fixture(scope="module")
+def results(registry):
+    return measure_pair_latencies(DeploymentConfig(n_probe_packets=400),
+                                  registry=registry)
 
 
 def test_bench_fig7(benchmark, results):
@@ -87,3 +95,18 @@ def test_fig7_loss_few_percent(results):
     # "the packet loss never exceeded a few percents"
     for m in results.values():
         assert m.loss_fraction < 0.05
+
+
+def test_fig7_measurements_backed_by_registry(results, registry):
+    """The reported values ARE the registry's: sent/received come from
+    herd_probes_*_total and the OWD histogram sums every sample."""
+    for (src, dst, system), m in results.items():
+        labels = {"src": src, "dst": dst, "system": system}
+        sent = registry.value("herd_probes_sent_total", labels)
+        received = registry.value("herd_probes_received_total", labels)
+        assert sent == m.sent == 400
+        assert received == m.received == len(m.owd_samples_ms)
+        hist = registry.series("herd_probe_owd_ms")
+        (h,) = [s for s in hist if dict(s.labels) == labels]
+        assert h.count == m.received
+        assert h.sum == pytest.approx(sum(m.owd_samples_ms))

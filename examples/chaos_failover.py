@@ -22,7 +22,7 @@ def main() -> None:
 
     # seed 7: one orphan needs 4 join attempts (directory still lists
     # the dead mix until detection), so the backoff path is visible.
-    cfg = ChaosConfig(seed=7, horizon_s=7.5, n_live_clients=8,
+    cfg = ChaosConfig(seed=7, horizon_s=7.5, n_clients=8,
                       n_direct_clients=4, round_interval_s=0.05,
                       plan=default_plan())
     plan = cfg.plan

@@ -1,78 +1,77 @@
 #!/usr/bin/env python3
-"""Quickstart: an anonymous end-to-end encrypted VoIP call over Herd.
+"""Quickstart: run a Herd zone through the `repro.api` facade.
 
-Builds a two-zone Herd deployment (EU and NA, two mixes each), joins a
-caller and a callee, establishes their standing circuits, publishes the
-callee's rendezvous, places a call, and streams voice frames both ways
-— every onion layer, DTLS record, and rendezvous splice really happens.
+One `Simulation` call stands up a live zone (clients, superpeers, a
+mix), places anonymous VoIP calls, and drives 50 constant-rate mix
+rounds — with every onion layer, DTLS record, and XOR round really
+executing.  The run comes back as a `RunReport` whose metrics and
+trace were collected by herdscope (`repro.obs`) in *virtual* time, so
+the same seed always reproduces the same bytes.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core.invariants import mix_knowledge
-from repro.simulation.testbed import build_testbed
-from repro.voip.codec import G711
-from repro.voip.rtp import RtpPacketizer
+from repro import SimConfig, Simulation
 
 
 def main() -> None:
     print("=== Herd quickstart ===\n")
 
-    # 1. Deploy two trust zones with two mixes each.
-    bed = build_testbed([("zone-EU", "dc-eu", 2),
-                         ("zone-NA", "dc-na", 2)])
-    print("zones:", ", ".join(bed.zones))
-    print("mixes:", ", ".join(bed.mixes))
+    # 1. Configure a run.  SimConfig is keyword-only and validated;
+    # the same object also drives the "testbed" and "chaos" scenarios.
+    config = SimConfig(seed=7, n_clients=12, n_channels=4, call_pairs=2)
+    report = Simulation(config).run(rounds=50)
+    print(f"scenario={report.scenario} seed={report.seed} "
+          f"rounds={report.rounds_run}")
+    print(f"clients in call: {report.detail['clients_in_call']}")
 
-    # 2. Alice and Bob join their chosen zones (the §3.5 join
-    # protocol: directory redirect, key establishment, certification).
-    alice = bed.add_client("alice", "zone-EU")
-    bob = bed.add_client("bob", "zone-NA")
-    print(f"\nalice joined via {alice.mix_id}; "
-          f"certificate zone = {alice.certificate.zone_id}")
-    print(f"bob joined via {bob.mix_id}; "
-          f"certificate zone = {bob.certificate.zone_id}")
+    # 2. The unobservability invariant (§3.6), read straight from the
+    # metrics registry: every enabled channel emits exactly one
+    # downstream cell per round — payload, chaff, or control — so the
+    # wire census never depends on who is talking.
+    payload = report.counter_value("herd_mix_cells_total",
+                                   {"kind": "payload"})
+    chaff = report.counter_value("herd_mix_cells_total",
+                                 {"kind": "chaff"})
+    control = report.counter_value("herd_mix_cells_total",
+                                   {"kind": "control"})
+    total = payload + chaff + control
+    print(f"\ndownstream cells: payload={payload:.0f} chaff={chaff:.0f} "
+          f"control={control:.0f} (total {total:.0f} = "
+          f"{report.rounds_run} rounds x {config.n_channels} channels)")
+    assert total == report.rounds_run * config.n_channels
 
-    # 3. Standing circuits + rendezvous registration (§3.3).  The
-    # rendezvous mix is a random mix of the zone — here we pick one
-    # distinct from the entry mix (the typical configuration; the same
-    # mix may play both roles in a single-mix zone).
-    builder = bed.service.circuit_builder()
-    for client, zone in ((alice, "zone-EU"), (bob, "zone-NA")):
-        rendezvous = bed.directories[zone].pick_mix(
-            exclude=client.mix_id)
-        client.build_circuit(builder, [client.mix_id, rendezvous])
-        bed.service.register_callee(client)
-    print(f"\nalice circuit: client -> {' -> '.join(alice.circuit.path)}")
-    print(f"bob circuit:   client -> {' -> '.join(bob.circuit.path)}")
+    # 3. What actually crossed each link, by byte count.
+    sp_mix = report.counter_value(
+        "herd_link_bytes_total",
+        {"link": "zone-EU/sp-0->zone-EU/mix-0"})
+    print(f"superpeer->mix bytes: {sp_mix:.0f}")
 
-    # 4. Place the call: directory lookup, rendezvous splice, and an
-    # end-to-end X25519 key agreement over the concatenated circuits.
-    session = bed.call("alice", "bob")
-    print(f"\ncall established; {session.link_hops()} links "
-          "caller->callee (paper: at most 5 without SPs)")
+    # 4. The trace bus recorded call setups as spans with virtual
+    # start/end times; the full stream can also be written to JSONL
+    # via SimConfig(trace_path=...).
+    begins = {e.span_id: dict(e.labels) for e in report.trace_events
+              if e.name == "call_setup" and e.phase == "begin"}
+    setups = [e for e in report.trace_events
+              if e.name == "call_setup" and e.phase == "end"]
+    print(f"call setups traced: {len(setups)}")
+    for evt in setups:
+        caller = begins[evt.span_id]["client"]
+        print(f"  {caller}: {dict(evt.labels)['outcome']} "
+              f"at round {evt.time:.0f}")
 
-    # 5. Stream one second of G.711 voice in each direction.
-    tx = RtpPacketizer(G711)
-    delivered = 0
-    for pkt in tx.stream(1.0):
-        out = session.send_voice("caller_to_callee", pkt.payload)
-        assert out == pkt.payload
-        delivered += 1
-    reply = session.send_voice("callee_to_caller", b"\x42" * 160)
-    assert reply == b"\x42" * 160
-    print(f"streamed {delivered} voice frames alice->bob and a reply "
-          "bob->alice, all decrypted correctly")
+    # 5. Determinism: an identically-seeded run reproduces the exact
+    # same measurements (the herdscope contract — no wall clock, no
+    # unseeded RNG anywhere in the instrumented path).
+    again = Simulation(config).run(rounds=50)
+    assert again.metrics == report.metrics
+    print("\nre-ran with the same seed: metrics snapshots identical.")
 
-    # 6. What did the network learn?  (Invariants I2/I3.)
-    entry = bed.mixes[alice.circuit.entry_mix]
-    knowledge = mix_knowledge(entry, alice.circuit.circuit_id)
-    print(f"\nalice's entry mix knows only: {knowledge}")
-    rdv = bed.mixes[alice.circuit.rendezvous_mix]
-    knowledge = mix_knowledge(rdv, alice.circuit.circuit_id)
-    print(f"alice's rendezvous mix knows only: {knowledge}")
-    print("\nneither names bob, bob's mix, nor bob's zone: the call is "
-          "zone-anonymous.")
+    # 6. Export for dashboards or diffing.
+    print("\nPrometheus sample:")
+    for line in report.to_prometheus().splitlines():
+        if line.startswith("herd_mix_cells_total"):
+            print(" ", line)
 
 
 if __name__ == "__main__":

@@ -21,20 +21,33 @@ Package map
 * :mod:`repro.analysis` — anonymity/bandwidth/cost/CPU analytics.
 * :mod:`repro.simulation` — trace-driven and packet-level deployment
   simulations, plus an in-memory testbed.
+* :mod:`repro.obs` — herdscope: virtual-time metrics, traces, and
+  exporters.
+* :mod:`repro.api` — the :class:`~repro.api.Simulation` facade in
+  front of testbed, live-zone, and chaos runs.
 
 Quick start
 -----------
 
->>> from repro.simulation.testbed import build_testbed
->>> bed = build_testbed()
->>> alice = bed.add_client("alice", "zone-EU")
->>> bob = bed.add_client("bob", "zone-NA")
->>> bed.ready_for_calls("alice"); bed.ready_for_calls("bob")
->>> session = bed.call("alice", "bob")
+>>> from repro import SimConfig, Simulation
+>>> report = Simulation(SimConfig(seed=7, call_pairs=2)).run(rounds=50)
+>>> report.rounds_run
+50
+>>> print(report.to_prometheus())  # doctest: +SKIP
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from repro.api import RunReport, SimConfig, Simulation
+from repro.obs.metrics import MetricsRegistry
 from repro.simulation.testbed import HerdTestbed, build_testbed
 
-__all__ = ["HerdTestbed", "build_testbed", "__version__"]
+__all__ = [
+    "HerdTestbed",
+    "MetricsRegistry",
+    "RunReport",
+    "SimConfig",
+    "Simulation",
+    "build_testbed",
+    "__version__",
+]

@@ -118,4 +118,25 @@ def run_evaluation(trace: Optional[CallTrace] = None,
     report.add("E7", "mix CPU @100 clients (SP)", "3%",
                f"{cpu.mix_with_sp(100):.1%}",
                abs(cpu.mix_with_sp(100) - 0.03) < 0.02)
+
+    # E9: data-plane unobservability, measured by herdscope.  Every
+    # enabled channel carries exactly one downstream cell per round
+    # regardless of call activity — payload is hidden in a constant-
+    # rate stream (§3.4.1), so the cell census from the metrics
+    # registry must total n_channels x rounds.
+    from repro.api import SimConfig, Simulation
+    n_channels, rounds = 4, 40
+    run = Simulation(SimConfig(seed=seed, n_clients=8,
+                               n_channels=n_channels,
+                               call_pairs=1, trace_buffer=0)
+                     ).run(rounds=rounds)
+    cells = {s["labels"]["kind"]: s["value"]
+             for s in run.metrics["herd_mix_cells_total"]["series"]}
+    total = sum(cells.values())
+    report.add("E9", "downstream cells per round",
+               f"{n_channels} (constant-rate)",
+               f"{total / rounds:.1f} ({cells.get('payload', 0):.0f} "
+               f"payload / {cells.get('chaff', 0):.0f} chaff / "
+               f"{cells.get('control', 0):.0f} control)",
+               total == n_channels * rounds)
     return report

@@ -1,0 +1,282 @@
+"""The unified simulation facade: one front door to the reproduction.
+
+The repo grew three entry points with three calling conventions — the
+in-memory :func:`~repro.simulation.testbed.build_testbed`, the
+round-based :class:`~repro.simulation.live.LiveZone`, and the
+fault-driven :func:`~repro.simulation.chaos.run_chaos`.  This module
+puts one keyword-only surface in front of all of them:
+
+>>> from repro import SimConfig, Simulation
+>>> report = Simulation(SimConfig(seed=7)).run(rounds=50)
+>>> report.metrics["herd_mix_cells_total"]["series"]  # doctest: +SKIP
+
+Every :class:`Simulation` owns a :class:`~repro.obs.instrument
+.Herdscope`, so every run produces a metrics snapshot and (optionally)
+a JSONL trace stamped with *virtual* time — two runs with the same
+:class:`SimConfig` are byte-identical.  The old entry points remain
+callable; their positional forms warn with ``DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.instrument import Herdscope
+
+SCENARIOS = ("live", "testbed", "chaos")
+
+
+class SimConfig:
+    """Keyword-only configuration for one :class:`Simulation`.
+
+    Not a dataclass on purpose: ``dataclass(kw_only=True)`` needs
+    Python 3.10 and this repo supports 3.9, so the keyword-only
+    contract is written out by hand.
+
+    Parameters
+    ----------
+    scenario:
+        ``"live"`` (default) — one zone's SP data plane at round
+        granularity; ``"testbed"`` — in-memory deployment placing
+        end-to-end calls through circuits; ``"chaos"`` — a fault plan
+        replayed against a live deployment.
+    seed:
+        Master seed; one seed reproduces a whole run.
+    n_clients, n_channels, n_sps, k:
+        Zone shape (live/chaos scenarios).
+    zone_id, client_prefix:
+        Naming of the live zone and its clients.
+    zone_specs:
+        Testbed zones as (zone_id, site_id, n_mixes) tuples
+        (testbed scenario; ``None`` = the EU + NA default).
+    call_pairs:
+        Concurrent calls started at round/time zero.
+    chaos:
+        Optional :class:`~repro.simulation.chaos.ChaosConfig`; its
+        seed/n_clients/n_channels are overridden by this config's.
+    trace_path:
+        Optional JSONL file receiving the full trace stream.
+    trace_buffer:
+        In-memory trace ring capacity (0 disables the ring).
+    """
+
+    __slots__ = ("scenario", "seed", "n_clients", "n_channels",
+                 "n_sps", "k", "zone_id", "zone_specs",
+                 "client_prefix", "call_pairs", "chaos", "trace_path",
+                 "trace_buffer")
+
+    def __init__(self, *, scenario: str = "live",
+                 seed: int = 20150817, n_clients: int = 12,
+                 n_channels: int = 4, n_sps: int = 1, k: int = 2,
+                 zone_id: str = "zone-EU",
+                 zone_specs: Optional[
+                     Sequence[Tuple[str, str, int]]] = None,
+                 client_prefix: str = "client", call_pairs: int = 1,
+                 chaos=None, trace_path: Optional[str] = None,
+                 trace_buffer: int = 4096):
+        if scenario not in SCENARIOS:
+            raise ValueError(f"scenario must be one of {SCENARIOS}, "
+                             f"not {scenario!r}")
+        if call_pairs < 0 or 2 * call_pairs > n_clients:
+            raise ValueError("call_pairs needs two clients per call")
+        self.scenario = scenario
+        self.seed = seed
+        self.n_clients = n_clients
+        self.n_channels = n_channels
+        self.n_sps = n_sps
+        self.k = k
+        self.zone_id = zone_id
+        self.zone_specs = zone_specs
+        self.client_prefix = client_prefix
+        self.call_pairs = call_pairs
+        self.chaos = chaos
+        self.trace_path = trace_path
+        self.trace_buffer = trace_buffer
+
+    def __repr__(self) -> str:
+        return (f"SimConfig(scenario={self.scenario!r}, "
+                f"seed={self.seed}, n_clients={self.n_clients}, "
+                f"n_channels={self.n_channels}, "
+                f"call_pairs={self.call_pairs})")
+
+
+class RunReport:
+    """What one :meth:`Simulation.run` produced."""
+
+    __slots__ = ("scenario", "seed", "rounds_run", "metrics",
+                 "trace_events", "trace_path", "detail")
+
+    def __init__(self, *, scenario: str, seed: int, rounds_run: int,
+                 metrics: Dict[str, Any], trace_events: Tuple,
+                 trace_path: Optional[str], detail: Any):
+        self.scenario = scenario
+        self.seed = seed
+        self.rounds_run = rounds_run
+        #: Deterministic :meth:`~repro.obs.metrics.MetricsRegistry
+        #: .snapshot` of every instrument the run touched.
+        self.metrics = metrics
+        #: Tail of the trace stream (the scope's ring buffer).
+        self.trace_events = trace_events
+        self.trace_path = trace_path
+        #: Scenario-specific payload: a dict for live/testbed runs, a
+        #: :class:`~repro.simulation.chaos.ChaosReport` for chaos.
+        self.detail = detail
+
+    def to_prometheus(self) -> str:
+        """The metrics snapshot in Prometheus exposition format."""
+        return render_prometheus(self.metrics)
+
+    def to_json(self, indent: int = 2) -> str:
+        """The metrics snapshot as canonical JSON."""
+        return render_json(self.metrics, indent=indent)
+
+    def counter_value(self, name: str,
+                      labels: Optional[Dict[str, str]] = None) -> float:
+        """Convenience lookup into the snapshot (0.0 when absent)."""
+        want = {str(k): str(v) for k, v in (labels or {}).items()}
+        for series in self.metrics.get(name, {}).get("series", ()):
+            if series["labels"] == want:
+                return series["value"]
+        return 0.0
+
+    def __repr__(self) -> str:
+        return (f"RunReport(scenario={self.scenario!r}, "
+                f"seed={self.seed}, rounds_run={self.rounds_run}, "
+                f"metrics={len(self.metrics)} names, "
+                f"trace_events={len(self.trace_events)})")
+
+
+class Simulation:
+    """One configured, instrumented run.
+
+    A Simulation is one-shot: :meth:`run` drives the scenario, closes
+    the trace sinks (so a ``trace_path`` file is complete on return),
+    and hands back a :class:`RunReport`.  Construct a new Simulation
+    for a new run — reusing one would splice two runs into one trace.
+    """
+
+    def __init__(self, config: Optional[SimConfig] = None):
+        self.config = config or SimConfig()
+        self.scope = Herdscope(trace_path=self.config.trace_path,
+                               trace_buffer=self.config.trace_buffer)
+        self._finished = False
+
+    def run(self, rounds: Optional[int] = None, *,
+            until: Optional[float] = None) -> RunReport:
+        """Drive the scenario for ``rounds`` data-plane rounds (live /
+        testbed) or to virtual time ``until`` (chaos horizon).  Exactly
+        one of the two may be given; the scenario's natural default is
+        used otherwise (50 rounds, or the chaos plan's horizon)."""
+        if self._finished:
+            raise RuntimeError("this Simulation already ran; build a "
+                               "new one for a new run")
+        if rounds is not None and until is not None:
+            raise ValueError("pass rounds= or until=, not both")
+        cfg = self.config
+        if cfg.scenario == "live":
+            rounds_run, detail = self._run_live(
+                50 if rounds is None and until is None
+                else int(until) if rounds is None else rounds)
+        elif cfg.scenario == "testbed":
+            rounds_run, detail = self._run_testbed(
+                rounds if rounds is not None else 50)
+        else:
+            rounds_run, detail = self._run_chaos(until)
+        self._finished = True
+        snapshot = self.scope.snapshot()
+        ring = self.scope.ring
+        events = tuple(ring.events) if ring is not None else ()
+        self.scope.close()
+        return RunReport(scenario=cfg.scenario, seed=cfg.seed,
+                         rounds_run=rounds_run, metrics=snapshot,
+                         trace_events=events,
+                         trace_path=cfg.trace_path, detail=detail)
+
+    # -- scenarios ------------------------------------------------------------
+
+    def _call_pairs(self) -> List[Tuple[str, str]]:
+        prefix = self.config.client_prefix
+        return [(f"{prefix}-{2 * i}", f"{prefix}-{2 * i + 1}")
+                for i in range(self.config.call_pairs)]
+
+    def _run_live(self, rounds: int) -> Tuple[int, Dict[str, Any]]:
+        from repro.core.callmanager import CallState
+        from repro.simulation.live import LiveZone
+        cfg = self.config
+        zone = LiveZone(n_clients=cfg.n_clients,
+                        n_channels=cfg.n_channels, k=cfg.k,
+                        n_sps=cfg.n_sps, seed=cfg.seed,
+                        zone_id=cfg.zone_id,
+                        client_prefix=cfg.client_prefix)
+        self.scope.use_clock(lambda: float(zone.round_index))
+        self.scope.attach_live_zone(zone)
+        for caller, callee in self._call_pairs():
+            zone.start_call(caller, callee)
+        for _ in range(rounds):
+            for live in zone.clients.values():
+                if live.agent.state is CallState.IN_CALL:
+                    zone.say(live.client.client_id,
+                             f"v{zone.round_index}".encode())
+            zone.step()
+        in_call = sum(1 for live in zone.clients.values()
+                      if live.agent.state is CallState.IN_CALL)
+        return zone.round_index, {
+            "zone_id": cfg.zone_id,
+            "clients_in_call": in_call,
+            "calls_blocked": zone.manager.calls_blocked,
+        }
+
+    def _run_testbed(self, rounds: int) -> Tuple[int, Dict[str, Any]]:
+        from repro.simulation.testbed import build_testbed
+        cfg = self.config
+        bed = build_testbed(cfg.zone_specs, seed=cfg.seed)
+        frame_clock = {"round": 0}
+        self.scope.use_clock(lambda: float(frame_clock["round"]))
+        zone_ids = list(bed.zones)
+        for i in range(cfg.n_clients):
+            bed.add_client(f"{cfg.client_prefix}-{i}",
+                           zone_ids[i % len(zone_ids)])
+        sessions = []
+        frames = self.scope.registry.counter(
+            "herd_e2e_frames_total",
+            help="voice frames carried end to end through circuits")
+        frame_bytes = self.scope.registry.counter(
+            "herd_e2e_frame_bytes_total",
+            help="voice payload bytes carried end to end")
+        for caller, callee in self._call_pairs():
+            bed.ready_for_calls(caller)
+            bed.ready_for_calls(callee)
+            sessions.append(bed.call(caller, callee))
+        delivered = 0
+        for r in range(rounds):
+            frame_clock["round"] = r
+            payload = b"\x42" * 160
+            for session in sessions:
+                for direction in ("caller_to_callee",
+                                  "callee_to_caller"):
+                    if session.send_voice(direction, payload) == \
+                            payload:
+                        delivered += 1
+                        frames.inc()
+                        frame_bytes.inc(len(payload))
+        frame_clock["round"] = rounds
+        return rounds, {
+            "zones": zone_ids,
+            "calls": len(sessions),
+            "frames_delivered": delivered,
+        }
+
+    def _run_chaos(self, until: Optional[float]) -> Tuple[int, Any]:
+        from dataclasses import replace
+        from repro.simulation.chaos import ChaosConfig, run_chaos
+        cfg = self.config
+        chaos_cfg = cfg.chaos or ChaosConfig()
+        chaos_cfg = replace(chaos_cfg, seed=cfg.seed,
+                            n_clients=cfg.n_clients,
+                            n_channels=cfg.n_channels,
+                            call_pairs=cfg.call_pairs)
+        if until is not None:
+            chaos_cfg = replace(chaos_cfg, horizon_s=float(until))
+        report = run_chaos(chaos_cfg, scope=self.scope)
+        return report.rounds_run, report

@@ -8,6 +8,8 @@ Gives a downstream user one-command access to the headline results:
 * ``blocking``    — the §4.1.6 blocking/offload sweep.
 * ``cost``        — the §4.1.6 cost model sweep.
 * ``quality``     — the Fig. 7 latency/MOS measurement.
+* ``metrics``     — run an instrumented simulation, dump herdscope
+  metrics (Prometheus text or JSON).
 * ``experiments`` — run the whole evaluation (E1–E9 summaries).
 * ``lint``        — herdlint, the protocol-aware static-analysis gate.
 """
@@ -126,6 +128,23 @@ def _cmd_quality(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.api import SimConfig, Simulation
+    config = SimConfig(scenario=args.scenario, seed=args.seed,
+                       n_clients=args.clients,
+                       n_channels=args.channels,
+                       call_pairs=args.pairs,
+                       trace_path=args.trace)
+    report = Simulation(config).run(rounds=args.rounds)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_prometheus())
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run
     return run(args)
@@ -186,6 +205,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_quality = sub.add_parser("quality", help="Fig. 7 call quality")
     p_quality.add_argument("--packets", type=int, default=300)
 
+    p_metrics = sub.add_parser(
+        "metrics", help="instrumented run + herdscope metrics dump")
+    p_metrics.add_argument("--scenario", choices=("live", "testbed"),
+                           default="live")
+    p_metrics.add_argument("--rounds", type=int, default=50)
+    p_metrics.add_argument("--seed", type=int, default=20150817)
+    p_metrics.add_argument("--clients", type=int, default=12)
+    p_metrics.add_argument("--channels", type=int, default=4)
+    p_metrics.add_argument("--pairs", type=int, default=2)
+    p_metrics.add_argument("--format", choices=("prom", "json"),
+                           default="prom")
+    p_metrics.add_argument("--trace", default=None,
+                           help="also write a JSONL trace here")
+
     p_report = sub.add_parser("report",
                               help="paper-vs-measured shape report")
     p_report.add_argument("--users", type=int, default=4000)
@@ -213,6 +246,7 @@ _HANDLERS = {
     "blocking": _cmd_blocking,
     "cost": _cmd_cost,
     "quality": _cmd_quality,
+    "metrics": _cmd_metrics,
     "report": _cmd_report,
     "experiments": _cmd_experiments,
     "lint": _cmd_lint,

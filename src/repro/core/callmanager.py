@@ -95,6 +95,10 @@ class MixCallManager:
         #: produced downstream (§3.6.4).
         self.disabled_channels: Set[int] = set()
         self.failovers: List[FailoverRecord] = []
+        #: Optional observability hook (see :class:`repro.obs
+        #: .instrument.CallManagerHook`): call lifecycle counters and
+        #: the per-round chaff/payload cell census.
+        self.obs = None
 
     # -- registration --------------------------------------------------------
 
@@ -114,6 +118,8 @@ class MixCallManager:
                                             exclude=self.disabled_channels)
         if channel is None:
             self.calls_blocked += 1
+            if self.obs is not None:
+                self.obs.blocked(numeric_id)
             return None
         slot = self._slots[numeric_id][channel]
         self.mix.channels[channel].start_call(slot)
@@ -121,6 +127,8 @@ class MixCallManager:
                           numeric_id=numeric_id, channel_id=channel,
                           outgoing=outgoing)
         self.calls[numeric_id] = call
+        if self.obs is not None:
+            self.obs.granted(numeric_id, channel, outgoing)
         return call
 
     def handle_signal(self, numeric_id: int) -> Optional[ActiveCall]:
@@ -130,6 +138,8 @@ class MixCallManager:
         channel to which the caller attaches")."""
         if numeric_id in self.calls:
             return self.calls[numeric_id]  # duplicate signal: idempotent
+        if self.obs is not None:
+            self.obs.signaled(numeric_id)
         call = self._allocate(numeric_id, outgoing=True)
         if call is not None:
             self._pending_grant[numeric_id] = call
@@ -154,6 +164,8 @@ class MixCallManager:
         self.mix.channels[call.channel_id].end_call()
         self._pending_grant.pop(numeric_id, None)
         self._pending_announce.pop(numeric_id, None)
+        if self.obs is not None:
+            self.obs.ended(numeric_id)
 
     def fail_channels(self, channel_ids: Collection[int]
                       ) -> List[FailoverRecord]:
@@ -195,6 +207,8 @@ class MixCallManager:
                                         old_channel, new_channel)
             records.append(record)
             self.failovers.append(record)
+            if self.obs is not None:
+                self.obs.failover(record)
         return records
 
     def enqueue_voice(self, numeric_id: int, cell: bytes) -> None:
@@ -216,18 +230,21 @@ class MixCallManager:
         carry random chaff.
         """
         out: Dict[int, bytes] = {}
+        n_control = n_payload = n_chaff = 0
         for numeric_id, call in list(self._pending_grant.items()):
             key = self.mix.client_keys[self._client_name[numeric_id]]
             out[call.channel_id] = make_downstream_packet(
                 key, call.channel_id, round_index, KIND_GRANT,
                 ChannelGrant(call.channel_id, call.call_id).encode())
             del self._pending_grant[numeric_id]
+            n_control += 1
         for numeric_id, call in list(self._pending_announce.items()):
             key = self.mix.client_keys[self._client_name[numeric_id]]
             out[call.channel_id] = make_downstream_packet(
                 key, call.channel_id, round_index, KIND_INCOMING,
                 IncomingCallAnnouncement(call.call_id).encode())
             del self._pending_announce[numeric_id]
+            n_control += 1
         for call in self.calls.values():
             if call.channel_id in out:
                 continue
@@ -235,10 +252,25 @@ class MixCallManager:
             cell = call.downstream.popleft() if call.downstream else b""
             out[call.channel_id] = make_downstream_packet(
                 key, call.channel_id, round_index, KIND_VOIP, cell)
+            # An empty VOIP cell is addressed chaff: wire-identical to
+            # payload, which is exactly the paper's unobservability
+            # argument — only the mix-side census can tell them apart.
+            if cell:
+                n_payload += 1
+            else:
+                n_chaff += 1
         for channel_id in self.mix.channels:
             if channel_id not in out and \
                     channel_id not in self.disabled_channels:
                 out[channel_id] = make_downstream_chaff(self.rng)
+                n_chaff += 1
+        if self.obs is not None:
+            busy = sum(1 for c in self.calls.values()
+                       if c.channel_id not in self.disabled_channels)
+            enabled = len(self.mix.channels) - len(
+                self.disabled_channels & set(self.mix.channels))
+            self.obs.downstream_round(round_index, n_payload, n_chaff,
+                                      n_control, busy, enabled)
         return out
 
     # -- round ingestion ------------------------------------------------------------

@@ -54,6 +54,10 @@ class SuperPeer:
         self._audit: Dict[int, Deque[Tuple[int, Tuple[bytes, ...]]]] = {}
         self.rounds_forwarded = 0
         self.packets_broadcast = 0
+        #: Optional observability hook (see :class:`repro.obs
+        #: .instrument.SuperPeerHook`): per-link byte/packet counters
+        #: for the SP's logical links.
+        self.obs = None
 
     def host_channel(self, channel_id: int,
                      clients: Sequence[str]) -> None:
@@ -97,12 +101,17 @@ class SuperPeer:
             raise ValueError("client packet has the wrong size")
         self._audit[channel_id].append((round_index, tuple(packets)))
         self.rounds_forwarded += 1
-        return UpstreamRound(
+        combined = UpstreamRound(
             channel_id=channel_id,
             round_index=round_index,
             xor_packet=xor_bytes(*packets),
             manifests=tuple(manifests),
         )
+        if self.obs is not None:
+            self.obs.upstream_round(
+                channel_id, round_index, len(combined.xor_packet),
+                sum(len(m) for m in combined.manifests))
+        return combined
 
     def audit_packets(self, channel_id: int,
                       round_index: int) -> Tuple[bytes, ...]:
@@ -121,6 +130,9 @@ class SuperPeer:
         (Fig. 2a).  Returns (client, packet) pairs to transmit."""
         clients = self.channel_clients[channel_id]
         self.packets_broadcast += len(clients)
+        if self.obs is not None:
+            self.obs.downstream_broadcast(channel_id, len(packet),
+                                          len(clients))
         return [(client, packet) for client in clients]
 
     # -- resource accounting ----------------------------------------------------

@@ -90,6 +90,10 @@ class FaultInjector:
         self.on_mix_crash: List[Callable[[FaultSpec, List[str]], None]] = []
         self.on_sp_crash: List[Callable[[FaultSpec, List[str]], None]] = []
         self.on_recovery: List[Callable[[FaultSpec], None]] = []
+        #: Optional observability hook (see :class:`repro.obs
+        #: .instrument.FaultHook`): timeline entries become trace
+        #: events, injected→recovered windows become spans.
+        self.obs = None
 
     # -- bookkeeping -----------------------------------------------------------
 
@@ -98,6 +102,8 @@ class FaultInjector:
         entry = TimelineEntry.make(self.loop.now, action, kind, target,
                                    detail)
         self.timeline.append(entry)
+        if self.obs is not None:
+            self.obs.fault_event(entry)
         return entry
 
     # -- fault application -----------------------------------------------------

@@ -22,9 +22,10 @@ from repro.lint.engine import (
 )
 
 # Directory segments that must run exclusively on the virtual clock:
-# the protocol core, every simulator, fault injection, and the
-# discrete-event engine itself.
-_VIRTUAL_TIME_SCOPE = ("core", "simulation", "faults", "netsim")
+# the protocol core, every simulator, fault injection, the
+# discrete-event engine itself, and the observability layer (metric
+# timestamps and trace spans must be seed-replayable too).
+_VIRTUAL_TIME_SCOPE = ("core", "simulation", "faults", "netsim", "obs")
 
 _WALL_CLOCK_CALLS = {
     "time.time", "time.time_ns",

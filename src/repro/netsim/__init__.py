@@ -18,31 +18,28 @@ with
   time series of encrypted traffic on all Herd links").
 """
 
-from repro.netsim.engine import EventLoop, Event
+from repro.netsim.engine import EventLoop
 from repro.netsim.packet import Packet
 from repro.netsim.node import Node
-from repro.netsim.link import Link, LinkStats
+from repro.netsim.link import Link
 from repro.netsim.topology import (
-    Region,
     Site,
     GeoTopology,
     EC2_REGIONS,
     default_topology,
 )
-from repro.netsim.observer import LinkObserver, Observation
+from repro.netsim.observer import LinkObserver
 
+# Event, LinkStats, Region, and Observation are implementation detail
+# of their modules — import them from there if you really need them.
 __all__ = [
     "EventLoop",
-    "Event",
     "Packet",
     "Node",
     "Link",
-    "LinkStats",
-    "Region",
     "Site",
     "GeoTopology",
     "EC2_REGIONS",
     "default_topology",
     "LinkObserver",
-    "Observation",
 ]

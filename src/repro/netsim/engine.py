@@ -48,6 +48,10 @@ class EventLoop:
         self._now = 0.0
         self.rng = random.Random(seed)
         self.events_processed = 0
+        #: Optional observability hook (see :class:`repro.obs
+        #: .instrument.LoopHook`); installed by
+        #: :meth:`repro.obs.instrument.Herdscope.attach_loop`.
+        self.obs = None
 
     @property
     def now(self) -> float:
@@ -60,6 +64,8 @@ class EventLoop:
             raise ValueError("cannot schedule events in the past")
         event = Event(self._now + delay, next(self._counter), callback)
         heapq.heappush(self._queue, event)
+        if self.obs is not None:
+            self.obs.scheduled(self, event)
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
@@ -68,6 +74,8 @@ class EventLoop:
             raise ValueError("cannot schedule events in the past")
         event = Event(time, next(self._counter), callback)
         heapq.heappush(self._queue, event)
+        if self.obs is not None:
+            self.obs.scheduled(self, event)
         return event
 
     def schedule_periodic(self, interval: float,
@@ -102,6 +110,8 @@ class EventLoop:
             self._now = event.time
             event.callback()
             self.events_processed += 1
+            if self.obs is not None:
+                self.obs.fired(self, event)
             return True
         return False
 
@@ -138,10 +148,20 @@ class EventLoop:
         handles of periodic schedules) observe ``cancelled`` so nothing
         re-arms itself.  Used by fault injectors and tests to tear a
         simulation down cleanly mid-run.
+
+        When an observability hook is attached, it is told how many
+        live events were cancelled and drains every trace span the
+        cancelled events would have closed — a mid-run teardown must
+        not leak open spans into the next run.
         """
+        n_cancelled = 0
         for event in self._queue:
+            if not event.cancelled:
+                n_cancelled += 1
             event.cancel()
         self._queue.clear()
+        if self.obs is not None:
+            self.obs.cancelled_all(self, n_cancelled)
 
     def pending(self) -> int:
         """Number of uncancelled events still queued."""

@@ -79,9 +79,14 @@ class Link:
         b.attach_link(a.name, self)
 
     def add_observer(self, observer) -> None:
-        """Attach an adversary observer; it sees (time, size, src, dst)
-        for every packet offered to the link (including ones later
-        dropped — a tap sees the transmission attempt)."""
+        """Attach an observer; it sees (time, size, src, dst) for every
+        packet offered to the link (including ones later dropped — a
+        tap sees the transmission attempt).  Observers that additionally
+        define ``record_drop`` (e.g. the metrics
+        :class:`~repro.obs.instrument.LinkTap`) are also told about
+        losses; the adversary :class:`~repro.netsim.observer
+        .LinkObserver` deliberately does not, since a wire tap cannot
+        distinguish a dropped packet from a delivered one."""
         self._observers.append(observer)
 
     def other(self, node):
@@ -117,6 +122,11 @@ class Link:
             obs.record(self.loop.now, packet, sender.name, receiver.name)
         if self.loss_rate > 0 and self.loop.rng.random() < self.loss_rate:
             stats.dropped += 1
+            for obs in self._observers:
+                record_drop = getattr(obs, "record_drop", None)
+                if record_drop is not None:
+                    record_drop(self.loop.now, packet, sender.name,
+                                receiver.name)
             return
         stats.packets += 1
         stats.bytes += packet.size

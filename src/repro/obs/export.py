@@ -1,0 +1,69 @@
+"""Exporters: Prometheus text format and JSON snapshots.
+
+Both render the deterministic structure produced by
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, so the output is
+byte-identical across identically-seeded runs.  The Prometheus text
+format follows the exposition conventions (``# HELP`` / ``# TYPE``
+headers, ``le``-labelled cumulative histogram buckets, ``_sum`` and
+``_count`` series) closely enough to be scraped, while staying
+dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Mapping
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """Render a registry snapshot in the Prometheus text format."""
+    lines = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        help_text = entry.get("help") or ""
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {entry['kind']}")
+        for series in entry["series"]:  # already label-sorted
+            labels = series["labels"]
+            if entry["kind"] == "histogram":
+                cumulative = series["cumulative"]
+                for bound, count in zip(series["buckets"], cumulative):
+                    le = _format_labels(labels,
+                                        f'le="{_format_value(bound)}"')
+                    lines.append(f"{name}_bucket{le} {count}")
+                inf = _format_labels(labels, 'le="+Inf"')
+                lines.append(f"{name}_bucket{inf} {cumulative[-1]}")
+                plain = _format_labels(labels)
+                lines.append(f"{name}_sum{plain} "
+                             f"{_format_value(series['sum'])}")
+                lines.append(f"{name}_count{plain} {series['count']}")
+            else:
+                plain = _format_labels(labels)
+                lines.append(f"{name}{plain} "
+                             f"{_format_value(series['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(snapshot: Dict[str, Dict[str, object]],
+                indent: int = 2) -> str:
+    """Render a registry snapshot as canonical (sorted-key) JSON."""
+    return json.dumps(snapshot, sort_keys=True, indent=indent)

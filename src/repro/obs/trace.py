@@ -1,0 +1,242 @@
+"""Structured trace events and spans on virtual time.
+
+A :class:`Tracer` is the event bus of herdscope: instrumentation hooks
+emit instant events (``fault injected``, ``failover``) and open/close
+spans (``call-setup`` from signaling bit to GRANT, ``fault`` from
+injection to recovery) whose start and end times come from the run's
+virtual clock.  Sinks receive every event:
+
+* :class:`JsonlTraceSink` — one sorted-key JSON object per line; two
+  identically-seeded runs produce byte-identical files (the regression
+  the acceptance tests pin).
+* :class:`RingBufferTraceSink` — the last N events in memory, for
+  post-run inspection without touching the filesystem.
+
+Span ids are allocated from a per-tracer counter, so they too are
+deterministic.  Spans left open when a run is torn down mid-flight
+(e.g. :meth:`EventLoop.cancel_all <repro.netsim.engine.EventLoop
+.cancel_all>` cancelling the events that would have closed them) are
+*drained*: force-closed with ``reason="cancelled"`` so they never leak
+into the next run's trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (Callable, Deque, Dict, IO, Iterator, List, Mapping,
+                    Optional, Tuple)
+
+PHASE_INSTANT = "instant"
+PHASE_BEGIN = "begin"
+PHASE_END = "end"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event on the trace bus."""
+
+    time: float
+    name: str
+    phase: str                      # instant | begin | end
+    span_id: Optional[int] = None
+    labels: Tuple[Tuple[str, str], ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"time": self.time, "name": self.name,
+                                  "phase": self.phase}
+        if self.span_id is not None:
+            out["span"] = self.span_id
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
+
+    def to_json(self) -> str:
+        """Canonical one-line JSON (sorted keys, no whitespace) — the
+        unit of byte-identical trace files."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def _labels_key(labels: Mapping[str, object]
+                ) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class TraceSink:
+    """Protocol: anything with ``emit(event)`` and ``close()``."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Optional flush/teardown; default no-op."""
+
+
+class RingBufferTraceSink(TraceSink):
+    """Keeps the newest ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        self.emitted += 1
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring."""
+        return self.emitted - len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+
+
+class JsonlTraceSink(TraceSink):
+    """Appends one canonical JSON line per event to a file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle: Optional[IO[str]] = open(path, "w",
+                                               encoding="utf-8")
+        self.lines_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._handle is None:
+            raise RuntimeError(f"trace sink {self.path} already closed")
+        self._handle.write(event.to_json())
+        self._handle.write("\n")
+        self.lines_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+@dataclass
+class Span:
+    """An open interval on virtual time; close with :meth:`Tracer
+    .end_span` (or let a teardown drain it)."""
+
+    span_id: int
+    name: str
+    start: float
+    labels: Tuple[Tuple[str, str], ...] = ()
+    end: Optional[float] = None
+    end_labels: Tuple[Tuple[str, str], ...] = field(default=())
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+
+class Tracer:
+    """The trace-event bus: emits to every attached sink."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 sinks: Tuple[TraceSink, ...] = ()):
+        self._clock = clock or (lambda: 0.0)
+        self._sinks: List[TraceSink] = list(sinks)
+        self._ids = itertools.count(1)
+        self._open: Dict[int, Span] = {}
+        self.events_emitted = 0
+        self.spans_drained = 0
+
+    # -- plumbing --------------------------------------------------------------
+
+    def now(self) -> float:
+        return self._clock()
+
+    def use_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    def add_sink(self, sink: TraceSink) -> TraceSink:
+        self._sinks.append(sink)
+        return sink
+
+    def _emit(self, event: TraceEvent) -> None:
+        self.events_emitted += 1
+        for sink in self._sinks:
+            sink.emit(event)
+
+    # -- events & spans --------------------------------------------------------
+
+    def event(self, name: str, **labels: object) -> TraceEvent:
+        """Emit an instant event at the current virtual time."""
+        event = TraceEvent(time=self._clock(), name=name,
+                           phase=PHASE_INSTANT,
+                           labels=_labels_key(labels))
+        self._emit(event)
+        return event
+
+    def begin_span(self, name: str, **labels: object) -> Span:
+        span = Span(span_id=next(self._ids), name=name,
+                    start=self._clock(), labels=_labels_key(labels))
+        self._open[span.span_id] = span
+        self._emit(TraceEvent(time=span.start, name=name,
+                              phase=PHASE_BEGIN, span_id=span.span_id,
+                              labels=span.labels))
+        return span
+
+    def end_span(self, span: Span, **labels: object) -> Span:
+        if span.end is not None:
+            return span  # idempotent: draining may race a late closer
+        span.end = self._clock()
+        span.end_labels = _labels_key(labels)
+        self._open.pop(span.span_id, None)
+        self._emit(TraceEvent(time=span.end, name=span.name,
+                              phase=PHASE_END, span_id=span.span_id,
+                              labels=span.end_labels))
+        return span
+
+    @contextmanager
+    def span(self, name: str, **labels: object) -> Iterator[Span]:
+        span = self.begin_span(name, **labels)
+        try:
+            yield span
+        finally:
+            self.end_span(span)
+
+    # -- teardown --------------------------------------------------------------
+
+    @property
+    def open_spans(self) -> List[Span]:
+        return [self._open[i] for i in sorted(self._open)]
+
+    def drain_open_spans(self, reason: str = "cancelled") -> int:
+        """Force-close every open span (labelled with ``reason``) —
+        called by :meth:`EventLoop.cancel_all` so cancelled events can
+        never leak half-open spans into the next run."""
+        drained = 0
+        for span_id in sorted(self._open):
+            span = self._open.get(span_id)
+            if span is not None:
+                self.end_span(span, reason=reason)
+                drained += 1
+        self.spans_drained += drained
+        return drained
+
+    def close(self) -> None:
+        """Drain open spans and close every sink."""
+        self.drain_open_spans(reason="tracer-closed")
+        for sink in self._sinks:
+            sink.close()

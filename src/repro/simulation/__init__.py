@@ -18,13 +18,11 @@ from repro.simulation.spsim import (
     simulate_blocking,
 )
 from repro.simulation.herd_sim import (
-    ProvisioningResult,
     provision_zone,
     rate_epoch_series,
 )
 from repro.simulation.deployment import (
     DeploymentConfig,
-    LatencyMeasurement,
     measure_pair_latencies,
 )
 from repro.simulation.testbed import HerdTestbed, build_testbed
@@ -42,21 +40,21 @@ from repro.simulation.churn import (
 from repro.simulation.chaos import (
     ChaosConfig,
     ChaosReport,
-    RejoinStats,
     blacklist_plan,
     default_plan,
     run_chaos,
 )
 
+# ProvisioningResult, LatencyMeasurement, and RejoinStats are result
+# records of their entry points, not standalone API — import them from
+# their defining modules.
 __all__ = [
     "BlockingResult",
     "SPSimConfig",
     "simulate_blocking",
-    "ProvisioningResult",
     "provision_zone",
     "rate_epoch_series",
     "DeploymentConfig",
-    "LatencyMeasurement",
     "measure_pair_latencies",
     "HerdTestbed",
     "build_testbed",
@@ -72,7 +70,6 @@ __all__ = [
     "rejoin_clients",
     "ChaosConfig",
     "ChaosReport",
-    "RejoinStats",
     "blacklist_plan",
     "default_plan",
     "run_chaos",

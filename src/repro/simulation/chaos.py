@@ -14,7 +14,8 @@ identical reports (the determinism regression the tests assert).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import InitVar, dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.blacklist import SPMonitor
@@ -38,7 +39,7 @@ class ChaosConfig:
     scenario: one mix crash + one SP loss mid-call)."""
 
     seed: int = 20150817
-    n_live_clients: int = 12
+    n_clients: int = 12
     n_channels: int = 6
     n_sps: int = 2
     k: int = 3
@@ -53,6 +54,16 @@ class ChaosConfig:
         max_attempts=8, jitter=0.1))
     #: SPMonitor sampling cadence for degradation faults.
     sample_interval_s: float = 0.25
+    #: Deprecated alias of ``n_clients`` (the repro.api rename unified
+    #: the knob name across LiveZone / SimConfig / ChaosConfig).
+    n_live_clients: InitVar[Optional[int]] = None
+
+    def __post_init__(self, n_live_clients: Optional[int]) -> None:
+        if n_live_clients is not None:
+            warnings.warn(
+                "ChaosConfig(n_live_clients=...) is deprecated; use "
+                "n_clients=...", DeprecationWarning, stacklevel=3)
+            self.n_clients = n_live_clients
 
 
 def default_plan() -> FaultPlan:
@@ -160,14 +171,32 @@ class ChaosReport:
         )
 
 
-def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosReport:
-    """Run one chaos scenario end to end."""
+def run_chaos(config: Optional[ChaosConfig] = None, *,
+              seed: Optional[int] = None,
+              n_clients: Optional[int] = None,
+              n_channels: Optional[int] = None,
+              scope=None) -> ChaosReport:
+    """Run one chaos scenario end to end.
+
+    The keyword overrides (``seed``, ``n_clients``, ``n_channels``)
+    are conveniences over ``config`` for the common knobs; ``scope``
+    is an optional :class:`repro.obs.instrument.Herdscope` that gets
+    wired into the loop, injector, and live zone so the run produces
+    metrics and traces.
+    """
     cfg = config or ChaosConfig()
+    overrides = {name: value
+                 for name, value in (("seed", seed),
+                                     ("n_clients", n_clients),
+                                     ("n_channels", n_channels))
+                 if value is not None}
+    if overrides:
+        cfg = replace(cfg, **overrides)
     plan = cfg.plan or default_plan()
     loop = EventLoop(seed=cfg.seed)
     bed = build_testbed([(LIVE_ZONE, "dc-live", 1),
                          (CTL_ZONE, "dc-ctl", 2)], seed=cfg.seed)
-    zone = LiveZone(n_clients=cfg.n_live_clients,
+    zone = LiveZone(n_clients=cfg.n_clients,
                     n_channels=cfg.n_channels, k=cfg.k,
                     n_sps=cfg.n_sps, seed=cfg.seed, bed=bed,
                     zone_id=LIVE_ZONE, client_prefix="live")
@@ -178,6 +207,10 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosReport:
     injector = FaultInjector(bed, loop, monitor=monitor,
                              sp_full_leave=False,
                              sample_interval_s=cfg.sample_interval_s)
+    if scope is not None:
+        scope.attach_loop(loop)
+        scope.attach_live_zone(zone)
+        scope.attach_injector(injector)
 
     rejoins: List[RejoinStats] = []
     post_failover_voice: Dict[str, int] = {}

@@ -32,6 +32,7 @@ from repro.netsim.engine import EventLoop
 from repro.netsim.link import Link
 from repro.netsim.node import Node
 from repro.netsim.packet import Packet
+from repro.obs.metrics import MetricsRegistry
 from repro.netsim.topology import (
     DEFAULT_ACCESS_JITTER,
     DEFAULT_ACCESS_OWD,
@@ -61,19 +62,62 @@ class DeploymentConfig:
     seed: int = 20150817
 
 
+#: Probe OWD histogram buckets (ms): spans direct intra-continental
+#: paths up to chaff-aligned 7-hop AU routes.
+PROBE_OWD_BUCKETS_MS = (25.0, 50.0, 75.0, 100.0, 150.0, 200.0, 250.0,
+                        300.0, 400.0, 500.0, 750.0, 1000.0)
+
+
 @dataclass
 class LatencyMeasurement:
-    """One zone pair's measured quality (one call direction)."""
+    """One zone pair's measured quality (one call direction).
+
+    The counts live in a :class:`~repro.obs.metrics.MetricsRegistry`
+    (``herd_probes_sent_total`` / ``herd_probes_received_total`` /
+    ``herd_probe_owd_ms``, labelled by src/dst/system) — pass a shared
+    registry to aggregate a whole Fig. 7 run; a private one is created
+    otherwise.  ``owd_samples_ms`` is kept verbatim as well so the
+    exact mean/p95 statistics are unchanged by the metrics backing.
+    """
 
     src_region: str
     dst_region: str
     system: str
     owd_samples_ms: List[float] = field(default_factory=list)
-    sent: int = 0
+    registry: Optional[MetricsRegistry] = \
+        field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.registry is None:
+            self.registry = MetricsRegistry()
+        labels = {"src": self.src_region, "dst": self.dst_region,
+                  "system": self.system}
+        self._sent = self.registry.counter(
+            "herd_probes_sent_total", labels,
+            help="probe packets emitted per zone pair")
+        self._received = self.registry.counter(
+            "herd_probes_received_total", labels,
+            help="probe packets delivered per zone pair")
+        self._owd = self.registry.histogram(
+            "herd_probe_owd_ms", labels,
+            buckets=PROBE_OWD_BUCKETS_MS,
+            help="one-way probe delay per zone pair (ms)")
+
+    def record_sent(self) -> None:
+        self._sent.inc()
+
+    def record_received(self, owd_ms: float) -> None:
+        self.owd_samples_ms.append(owd_ms)
+        self._received.inc()
+        self._owd.observe(owd_ms)
+
+    @property
+    def sent(self) -> int:
+        return int(self._sent.value)
 
     @property
     def received(self) -> int:
-        return len(self.owd_samples_ms)
+        return int(self._received.value)
 
     @property
     def loss_fraction(self) -> float:
@@ -146,16 +190,18 @@ class _SinkNode(Node):
 
     def _record(self, packet: Packet) -> None:
         owd = (self.loop.now - packet.departure) * 1000.0  # type: ignore
-        self.measurement.owd_samples_ms.append(owd)
+        self.measurement.record_received(owd)
 
 
 def _build_pair(loop: EventLoop, topo: GeoTopology,
                 config: DeploymentConfig, src: str, dst: str,
-                system: str) -> Tuple[Node, List[str],
-                                      LatencyMeasurement]:
+                system: str,
+                registry: Optional[MetricsRegistry] = None
+                ) -> Tuple[Node, List[str], LatencyMeasurement]:
     """Wire the node chain for one (src region → dst region) call and
     return (source node, route, measurement)."""
-    measurement = LatencyMeasurement(src, dst, system)
+    measurement = LatencyMeasurement(src, dst, system,
+                                     registry=registry)
     source = Node(f"caller-{src}", loop)
     sink = _SinkNode(f"callee-{dst}", loop, measurement)
     site_src, site_dst = f"dc-{src.lower()}", f"dc-{dst.lower()}"
@@ -211,7 +257,8 @@ def _build_pair(loop: EventLoop, topo: GeoTopology,
 
 
 def measure_pair_latencies(config: Optional[DeploymentConfig] = None,
-                           systems: Tuple[str, ...] = ("herd", "drac")
+                           systems: Tuple[str, ...] = ("herd", "drac"),
+                           registry: Optional[MetricsRegistry] = None
                            ) -> Dict[Tuple[str, str, str],
                                      LatencyMeasurement]:
     """Run probe streams for every ordered zone pair and system.
@@ -219,9 +266,15 @@ def measure_pair_latencies(config: Optional[DeploymentConfig] = None,
     Returns measurements keyed by (src_region, dst_region, system).
     One-way calls between every zone pair, per the paper's methodology
     (12 calls for 4 zones — plus the reverse directions, which are
-    statistically identical here).
+    statistically identical here).  ``registry`` aggregates every
+    pair's probe counters and OWD histogram in one place (the Fig. 7
+    benchmark reads its rows from there).
     """
     config = config or DeploymentConfig()
+    # Explicit None test: an instrument-less registry is len() == 0 and
+    # therefore falsy, but it is still the caller's aggregation point.
+    if registry is None:
+        registry = MetricsRegistry()
     topo = default_topology()
     results: Dict[Tuple[str, str, str], LatencyMeasurement] = {}
     frame_interval = config.codec.frame_ms / 1000.0
@@ -230,9 +283,11 @@ def measure_pair_latencies(config: Optional[DeploymentConfig] = None,
             if src == dst:
                 continue
             loop = EventLoop(seed=config.seed)
+            registry.use_clock(lambda loop=loop: loop.now)
             for system in systems:
                 source, route, measurement = _build_pair(
-                    loop, topo, config, src, dst, system)
+                    loop, topo, config, src, dst, system,
+                    registry=registry)
                 payload = b"\xa5" * config.codec.payload_bytes
 
                 def emit(i, source=source, route=route,
@@ -241,7 +296,7 @@ def measure_pair_latencies(config: Optional[DeploymentConfig] = None,
                                     kind="voip")
                     packet.route = route  # type: ignore[attr-defined]
                     packet.departure = loop.now  # type: ignore
-                    measurement.sent += 1
+                    measurement.record_sent()
                     source.send(route[1], packet)
 
                 for i in range(config.n_probe_packets):

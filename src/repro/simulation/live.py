@@ -23,6 +23,7 @@ inter-mix rendezvous path.
 from __future__ import annotations
 
 import random
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
@@ -49,14 +50,30 @@ class LiveClient:
 
 
 class LiveZone:
-    """One zone running live rounds."""
+    """One zone running live rounds.
 
-    def __init__(self, n_clients: int = 12, n_channels: int = 4,
+    All parameters are keyword-only; positional forms are deprecated
+    (kept as a shim so pre-``repro.api`` callers keep working)."""
+
+    def __init__(self, *args, n_clients: int = 12, n_channels: int = 4,
                  k: int = 2, n_sps: int = 1,
                  seed: int = 20150817,
                  bed: Optional[HerdTestbed] = None,
                  zone_id: str = "zone-EU",
                  client_prefix: str = "client"):
+        if args:
+            warnings.warn(
+                "positional LiveZone arguments are deprecated; pass "
+                "n_clients=..., n_channels=..., ... as keywords",
+                DeprecationWarning, stacklevel=2)
+            defaults = (n_clients, n_channels, k, n_sps, seed, bed,
+                        zone_id, client_prefix)
+            if len(args) > len(defaults):
+                raise TypeError(
+                    f"LiveZone() takes at most {len(defaults)} "
+                    f"arguments ({len(args)} given)")
+            (n_clients, n_channels, k, n_sps, seed, bed, zone_id,
+             client_prefix) = args + defaults[len(args):]
         if n_sps < 1:
             raise ValueError("need at least one superpeer")
         if n_sps > n_channels:
@@ -90,6 +107,10 @@ class LiveZone:
         self.external_router = None
         self.round_index = 0
         self.rng = random.Random(seed + 1)
+        #: Optional observability hook (see :class:`repro.obs
+        #: .instrument.LiveZoneHook`): call-setup spans and round
+        #: progress, installed by ``Herdscope.attach_live_zone``.
+        self.obs = None
         for i in range(n_clients):
             self._add_client(f"{client_prefix}-{i}", k)
 
@@ -122,17 +143,23 @@ class LiveZone:
         caller.agent.start_outgoing()
         self.peers[caller.numeric_id] = callee.numeric_id
         self.peers[callee.numeric_id] = caller.numeric_id
+        if self.obs is not None:
+            self.obs.call_started(caller_id, callee_id)
 
     def hang_up(self, client_id: str) -> None:
         live = self.clients[client_id]
         peer_numeric = self.peers.pop(live.numeric_id, None)
         self.manager.end_call(live.numeric_id)
         live.agent.hang_up()
+        if self.obs is not None:
+            self.obs.call_ended(client_id)
         if peer_numeric is not None:
             peer = self._by_numeric[peer_numeric]
             self.peers.pop(peer_numeric, None)
             self.manager.end_call(peer_numeric)
             peer.agent.hang_up()
+            if self.obs is not None:
+                self.obs.call_ended(peer.client.client_id)
 
     def say(self, client_id: str, cell: bytes) -> None:
         """Queue a voice cell for the client's active call."""
@@ -251,14 +278,19 @@ class LiveZone:
             for client_id, pkt in sp.broadcast_downstream(
                     channel_id, packet):
                 live = self.clients[client_id]
-                live.agent.process_downstream(channel_id,
-                                              self.round_index, pkt)
+                evt = live.agent.process_downstream(channel_id,
+                                                    self.round_index,
+                                                    pkt)
+                if self.obs is not None and evt is not None:
+                    self.obs.client_event(client_id, evt)
 
     def step(self) -> None:
         """One codec-frame round: upstream, control, downstream."""
         self._upstream()
         self._ring_pending_callees()
         self._downstream()
+        if self.obs is not None:
+            self.obs.round_finished(self.round_index)
         self.round_index += 1
 
     def run(self, rounds: int) -> None:

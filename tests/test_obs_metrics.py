@@ -1,0 +1,152 @@
+"""Unit coverage for the herdscope metrics registry.
+
+Counter/gauge/histogram semantics, (name, labels) keying, cardinality
+protection, virtual-time stamping, snapshot determinism, and the
+Prometheus/JSON exporters.
+"""
+
+import pytest
+
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MAX_SERIES_PER_NAME,
+    LabelCardinalityError,
+    MetricsRegistry,
+    canonical_labels,
+)
+
+
+def test_canonical_labels_order_independent():
+    assert canonical_labels({"b": 2, "a": 1}) == \
+        canonical_labels({"a": "1", "b": "2"}) == (("a", "1"), ("b", "2"))
+    assert canonical_labels(None) == canonical_labels({}) == ()
+
+
+class TestCounter:
+    def test_inc_and_default_amount(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events_total")
+        c.inc()
+        c.inc(2.5)
+        assert reg.value("events_total") == 3.5
+
+    def test_rejects_negative(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_same_name_same_labels_is_same_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", {"zone": "EU"}).inc()
+        reg.counter("hits", {"zone": "EU"}).inc()
+        reg.counter("hits", {"zone": "NA"}).inc()
+        assert reg.value("hits", {"zone": "EU"}) == 2
+        assert reg.value("hits", {"zone": "NA"}) == 1
+        assert len(reg.series("hits")) == 2
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+
+class TestHistogram:
+    def test_bucketing_and_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 0.7, 4.0, 9.0, 100.0):
+            h.observe(v)
+        assert h.bucket_counts == [2, 1, 1, 1]  # last is +inf
+        assert h.cumulative_counts() == [2, 3, 4, 5]
+        assert h.count == 5
+        assert h.sum == pytest.approx(114.2)
+
+    def test_value_is_observation_count(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat").observe(1.0)
+        assert reg.value("lat") == 1.0
+
+    def test_buckets_sorted_and_inf_stripped(self):
+        h = MetricsRegistry().histogram(
+            "h", buckets=(10.0, 1.0, float("inf")))
+        assert h.buckets == (1.0, 10.0)
+
+    def test_default_buckets(self):
+        assert MetricsRegistry().histogram("h").buckets == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m")
+        with pytest.raises(TypeError):
+            reg.gauge("m", {"zone": "EU"})  # even with fresh labels
+
+    def test_cardinality_cap(self):
+        reg = MetricsRegistry()
+        for i in range(MAX_SERIES_PER_NAME):
+            reg.counter("wild", {"id": i})
+        with pytest.raises(LabelCardinalityError):
+            reg.counter("wild", {"id": "one-too-many"})
+
+    def test_virtual_clock_stamps_updates(self):
+        t = {"now": 0.0}
+        reg = MetricsRegistry(lambda: t["now"])
+        c = reg.counter("c")
+        t["now"] = 4.25
+        c.inc()
+        assert c.updated_at == 4.25
+
+    def test_use_clock_repoints_existing_instruments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        reg.use_clock(lambda: 7.0)
+        c.inc()
+        assert c.updated_at == 7.0
+
+    def test_missing_series_value_is_none(self):
+        assert MetricsRegistry().value("nope") is None
+
+
+class TestSnapshot:
+    def _populated(self):
+        reg = MetricsRegistry(lambda: 1.5)
+        reg.counter("b_total", {"z": "NA"}, help="bees").inc(2)
+        reg.counter("b_total", {"z": "EU"}).inc()
+        reg.gauge("a_gauge").set(3)
+        reg.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        return reg
+
+    def test_snapshot_is_deterministic(self):
+        s1, s2 = self._populated().snapshot(), self._populated().snapshot()
+        assert s1 == s2
+        assert render_json(s1) == render_json(s2)
+        assert render_prometheus(s1) == render_prometheus(s2)
+
+    def test_snapshot_sorted_by_name_and_labels(self):
+        snap = self._populated().snapshot()
+        assert list(snap) == ["a_gauge", "b_total", "h"]
+        zones = [s["labels"]["z"] for s in snap["b_total"]["series"]]
+        assert zones == ["EU", "NA"]
+
+    def test_prometheus_rendering(self):
+        text = render_prometheus(self._populated().snapshot())
+        assert "# HELP b_total bees" in text
+        assert "# TYPE b_total counter" in text
+        assert 'b_total{z="NA"} 2' in text
+        assert 'h_bucket{le="2"} 1' in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+        assert "h_sum 1.5" in text
+        assert "h_count 1" in text
+
+    def test_clear(self):
+        reg = self._populated()
+        reg.clear()
+        assert len(reg) == 0 and reg.snapshot() == {}

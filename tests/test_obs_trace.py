@@ -1,0 +1,132 @@
+"""Unit coverage for the trace-event bus: spans, sinks, and the
+drain-on-teardown contract with EventLoop.cancel_all."""
+
+import json
+
+import pytest
+
+from repro.netsim.engine import EventLoop
+from repro.obs.instrument import Herdscope
+from repro.obs.trace import (
+    JsonlTraceSink,
+    RingBufferTraceSink,
+    TraceEvent,
+    Tracer,
+)
+
+
+def make_tracer():
+    t = {"now": 0.0}
+    ring = RingBufferTraceSink(16)
+    tracer = Tracer(lambda: t["now"], sinks=(ring,))
+    return t, ring, tracer
+
+
+def test_instant_event_carries_time_and_labels():
+    t, ring, tracer = make_tracer()
+    t["now"] = 2.0
+    tracer.event("failover", outcome="survived")
+    (evt,) = ring.events
+    assert (evt.time, evt.name, evt.phase) == (2.0, "failover", "instant")
+    assert dict(evt.labels) == {"outcome": "survived"}
+
+
+def test_span_lifecycle_and_duration():
+    t, ring, tracer = make_tracer()
+    span = tracer.begin_span("call", caller="a")
+    assert span.open and span.span_id == 1
+    t["now"] = 5.0
+    tracer.end_span(span, outcome="hangup")
+    assert span.duration == 5.0
+    begin, end = ring.events
+    assert (begin.phase, end.phase) == ("begin", "end")
+    assert begin.span_id == end.span_id == 1
+
+
+def test_end_span_is_idempotent():
+    t, ring, tracer = make_tracer()
+    span = tracer.begin_span("s")
+    tracer.end_span(span)
+    tracer.end_span(span)  # e.g. both call parties hanging up
+    assert len(ring.events) == 2
+
+
+def test_span_ids_are_deterministic_per_tracer():
+    _, _, tracer1 = make_tracer()
+    _, _, tracer2 = make_tracer()
+    for tracer in (tracer1, tracer2):
+        assert [tracer.begin_span("s").span_id for _ in range(3)] == \
+            [1, 2, 3]
+
+
+def test_drain_open_spans():
+    t, ring, tracer = make_tracer()
+    tracer.begin_span("a")
+    done = tracer.begin_span("b")
+    tracer.end_span(done)
+    assert tracer.drain_open_spans(reason="cancelled") == 1
+    assert tracer.open_spans == []
+    last = ring.events[-1]
+    assert last.phase == "end" and dict(last.labels) == \
+        {"reason": "cancelled"}
+
+
+def test_ring_buffer_drops_oldest():
+    ring = RingBufferTraceSink(2)
+    for i in range(5):
+        ring.emit(TraceEvent(time=float(i), name=f"e{i}",
+                             phase="instant"))
+    assert [e.name for e in ring.events] == ["e3", "e4"]
+    assert ring.dropped == 3
+
+
+def test_jsonl_sink_canonical_lines(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    sink = JsonlTraceSink(path)
+    sink.emit(TraceEvent(time=1.0, name="x", phase="instant",
+                         labels=(("b", "2"), ("a", "1"))))
+    sink.close()
+    with pytest.raises(RuntimeError):
+        sink.emit(TraceEvent(time=2.0, name="y", phase="instant"))
+    (line,) = open(path).read().splitlines()
+    assert line == json.dumps(json.loads(line), sort_keys=True,
+                              separators=(",", ":"))
+    assert json.loads(line) == {"time": 1.0, "name": "x",
+                                "phase": "instant",
+                                "labels": {"a": "1", "b": "2"}}
+
+
+def test_cancel_all_drains_spans_through_loop_hook():
+    """The satellite fix: tearing a loop down mid-run force-closes
+    every span a cancelled event would have closed."""
+    scope = Herdscope(trace_buffer=32)
+    loop = EventLoop(seed=1)
+    scope.attach_loop(loop)
+    span = scope.tracer.begin_span("inflight")
+    loop.schedule(1.0, lambda: scope.tracer.end_span(span))
+    loop.schedule(2.0, lambda: None)
+    loop.cancel_all()
+    assert not span.open
+    assert dict(span.end_labels) == {"reason": "cancelled"}
+    assert scope.registry.value("herd_spans_drained_total") == 1
+    assert scope.registry.value("herd_loop_events_cancelled_total") == 2
+    assert loop.pending() == 0
+
+
+def test_attach_loop_adopts_loop_clock():
+    scope = Herdscope(trace_buffer=4)
+    loop = EventLoop(seed=1)
+    scope.attach_loop(loop)
+    loop.schedule(3.5, lambda: scope.tracer.event("tick"))
+    loop.run()
+    assert scope.ring.events[-1].time == 3.5
+
+
+def test_tracer_close_drains_and_closes_sinks(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    scope = Herdscope(trace_path=path, trace_buffer=8)
+    scope.tracer.begin_span("open")
+    scope.close()
+    lines = [json.loads(x) for x in open(path).read().splitlines()]
+    assert lines[-1]["phase"] == "end"
+    assert lines[-1]["labels"] == {"reason": "tracer-closed"}

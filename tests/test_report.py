@@ -19,7 +19,13 @@ class TestRunEvaluation:
 
     def test_covers_expected_experiments(self, report):
         experiments = {row.experiment for row in report.rows}
-        assert experiments == {"E1", "E3", "E5", "E6", "E7"}
+        assert experiments == {"E1", "E3", "E5", "E6", "E7", "E9"}
+
+    def test_e9_reads_constant_rate_census_from_registry(self, report):
+        e9 = next(r for r in report.rows if r.experiment == "E9")
+        assert e9.shape_ok
+        assert e9.paper == "4 (constant-rate)"
+        assert "payload" in e9.measured and "chaff" in e9.measured
 
     def test_rows_have_both_values(self, report):
         for row in report.rows:
