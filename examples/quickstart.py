@@ -19,7 +19,10 @@ def main() -> None:
 
     # 1. Configure a run.  SimConfig is keyword-only and validated;
     # the same object also drives the "testbed" and "chaos" scenarios.
-    config = SimConfig(seed=7, n_clients=12, n_channels=4, call_pairs=2)
+    # execution picks the engine: "event" schedules per cell, "batch"
+    # runs round-synchronous vectors — observationally equivalent.
+    config = SimConfig(seed=7, n_clients=12, n_channels=4, call_pairs=2,
+                       execution="event")
     report = Simulation(config).run(rounds=50)
     print(f"scenario={report.scenario} seed={report.seed} "
           f"rounds={report.rounds_run}")
@@ -62,10 +65,19 @@ def main() -> None:
 
     # 5. Determinism: an identically-seeded run reproduces the exact
     # same measurements (the herdscope contract — no wall clock, no
-    # unseeded RNG anywhere in the instrumented path).
+    # unseeded RNG anywhere in the instrumented path).  Running the
+    # round-synchronous batch engine instead changes *how* the rounds
+    # execute, not what they produce: the snapshot is still identical
+    # byte for byte (DESIGN.md §9, the observational-equivalence
+    # contract).
     again = Simulation(config).run(rounds=50)
     assert again.metrics == report.metrics
-    print("\nre-ran with the same seed: metrics snapshots identical.")
+    batch_cfg = SimConfig(seed=7, n_clients=12, n_channels=4,
+                          call_pairs=2, execution="batch")
+    batched = Simulation(batch_cfg).run(rounds=50)
+    assert batched.metrics == report.metrics
+    print("\nre-ran same seed (event + batch engines): metrics "
+          "snapshots identical.")
 
     # 6. Export for dashboards or diffing.
     print("\nPrometheus sample:")

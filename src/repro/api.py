@@ -25,6 +25,7 @@ from repro.obs.export import render_json, render_prometheus
 from repro.obs.instrument import Herdscope
 
 SCENARIOS = ("live", "testbed", "chaos")
+EXECUTIONS = ("event", "batch")
 
 
 class SimConfig:
@@ -55,6 +56,19 @@ class SimConfig:
     chaos:
         Optional :class:`~repro.simulation.chaos.ChaosConfig`; its
         seed/n_clients/n_channels are overridden by this config's.
+    execution:
+        ``"event"`` (default) — the classical per-cell / per-channel
+        hot path; ``"batch"`` — round-synchronous batch execution
+        (one core entry point per component per round, vectors of
+        cells on the wire).  The engines are observationally
+        equivalent: a seeded run produces byte-identical metrics
+        snapshots, traces, and adversary observations under both
+        (DESIGN.md §9); batch just does it with O(rounds) instead of
+        O(cells) scheduling work.
+    wiretap:
+        Live scenario only: materialize the zone's wire plane and tap
+        every link with a global passive observer; the observation
+        stream lands in ``report.detail["wiretap"]``.
     trace_path:
         Optional JSONL file receiving the full trace stream.
     trace_buffer:
@@ -64,7 +78,7 @@ class SimConfig:
     __slots__ = ("scenario", "seed", "n_clients", "n_channels",
                  "n_sps", "k", "zone_id", "zone_specs",
                  "client_prefix", "call_pairs", "chaos", "trace_path",
-                 "trace_buffer")
+                 "trace_buffer", "execution", "wiretap")
 
     def __init__(self, *, scenario: str = "live",
                  seed: int = 20150817, n_clients: int = 12,
@@ -74,10 +88,14 @@ class SimConfig:
                      Sequence[Tuple[str, str, int]]] = None,
                  client_prefix: str = "client", call_pairs: int = 1,
                  chaos=None, trace_path: Optional[str] = None,
-                 trace_buffer: int = 4096):
+                 trace_buffer: int = 4096,
+                 execution: str = "event", wiretap: bool = False):
         if scenario not in SCENARIOS:
             raise ValueError(f"scenario must be one of {SCENARIOS}, "
                              f"not {scenario!r}")
+        if execution not in EXECUTIONS:
+            raise ValueError(f"execution must be one of {EXECUTIONS}, "
+                             f"not {execution!r}")
         if call_pairs < 0 or 2 * call_pairs > n_clients:
             raise ValueError("call_pairs needs two clients per call")
         self.scenario = scenario
@@ -93,12 +111,15 @@ class SimConfig:
         self.chaos = chaos
         self.trace_path = trace_path
         self.trace_buffer = trace_buffer
+        self.execution = execution
+        self.wiretap = wiretap
 
     def __repr__(self) -> str:
         return (f"SimConfig(scenario={self.scenario!r}, "
                 f"seed={self.seed}, n_clients={self.n_clients}, "
                 f"n_channels={self.n_channels}, "
-                f"call_pairs={self.call_pairs})")
+                f"call_pairs={self.call_pairs}, "
+                f"execution={self.execution!r})")
 
 
 class RunReport:
@@ -208,7 +229,9 @@ class Simulation:
                         n_channels=cfg.n_channels, k=cfg.k,
                         n_sps=cfg.n_sps, seed=cfg.seed,
                         zone_id=cfg.zone_id,
-                        client_prefix=cfg.client_prefix)
+                        client_prefix=cfg.client_prefix,
+                        execution=cfg.execution)
+        fabric = zone.attach_wire() if cfg.wiretap else None
         self.scope.use_clock(lambda: float(zone.round_index))
         self.scope.attach_live_zone(zone)
         for caller, callee in self._call_pairs():
@@ -221,11 +244,25 @@ class Simulation:
             zone.step()
         in_call = sum(1 for live in zone.clients.values()
                       if live.agent.state is CallState.IN_CALL)
-        return zone.round_index, {
+        detail = {
             "zone_id": cfg.zone_id,
+            "execution": cfg.execution,
             "clients_in_call": in_call,
             "calls_blocked": zone.manager.calls_blocked,
         }
+        if fabric is not None:
+            # The adversary's view, as plain tuples: byte-identical
+            # across engines (the equivalence contract); the engine
+            # cost stats beside it are the part that is allowed to —
+            # and should — differ.
+            detail["wiretap"] = {
+                "observations": [
+                    (o.time, o.size, o.src, o.dst)
+                    for o in fabric.observer.observations],
+                "cells_carried": fabric.cells_carried,
+                "wire_events_processed": fabric.events_processed,
+            }
+        return zone.round_index, detail
 
     def _run_testbed(self, rounds: int) -> Tuple[int, Dict[str, Any]]:
         from repro.simulation.testbed import build_testbed
@@ -249,21 +286,33 @@ class Simulation:
             bed.ready_for_calls(callee)
             sessions.append(bed.call(caller, callee))
         delivered = 0
+        batch = cfg.execution == "batch"
         for r in range(rounds):
             frame_clock["round"] = r
             payload = b"\x42" * 160
+            this_round = 0
             for session in sessions:
                 for direction in ("caller_to_callee",
                                   "callee_to_caller"):
                     if session.send_voice(direction, payload) == \
                             payload:
-                        delivered += 1
-                        frames.inc()
-                        frame_bytes.inc(len(payload))
+                        this_round += 1
+                        if not batch:
+                            frames.inc()
+                            frame_bytes.inc(len(payload))
+            if batch and this_round:
+                # One bulk update per round instead of one per frame;
+                # same totals, same updated_at stamp (every per-frame
+                # inc of the round reads the same round clock), so
+                # snapshots stay byte-identical across engines.
+                frames.add(this_round)
+                frame_bytes.add(this_round * len(payload))
+            delivered += this_round
         frame_clock["round"] = rounds
         return rounds, {
             "zones": zone_ids,
             "calls": len(sessions),
+            "execution": cfg.execution,
             "frames_delivered": delivered,
         }
 
@@ -275,7 +324,8 @@ class Simulation:
         chaos_cfg = replace(chaos_cfg, seed=cfg.seed,
                             n_clients=cfg.n_clients,
                             n_channels=cfg.n_channels,
-                            call_pairs=cfg.call_pairs)
+                            call_pairs=cfg.call_pairs,
+                            execution=cfg.execution)
         if until is not None:
             chaos_cfg = replace(chaos_cfg, horizon_s=float(until))
         report = run_chaos(chaos_cfg, scope=self.scope)

@@ -134,7 +134,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                        n_clients=args.clients,
                        n_channels=args.channels,
                        call_pairs=args.pairs,
-                       trace_path=args.trace)
+                       trace_path=args.trace,
+                       execution=args.execution)
     report = Simulation(config).run(rounds=args.rounds)
     if args.format == "json":
         print(report.to_json())
@@ -214,6 +215,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--clients", type=int, default=12)
     p_metrics.add_argument("--channels", type=int, default=4)
     p_metrics.add_argument("--pairs", type=int, default=2)
+    p_metrics.add_argument("--execution", choices=("event", "batch"),
+                           default="event",
+                           help="execution engine (the metrics are "
+                           "byte-identical; batch runs faster)")
     p_metrics.add_argument("--format", choices=("prom", "json"),
                            default="prom")
     p_metrics.add_argument("--trace", default=None,

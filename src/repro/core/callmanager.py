@@ -25,7 +25,8 @@ import random
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Collection, Deque, Dict, List, Optional, Set, Tuple
+from typing import Callable, Collection, Deque, Dict, List, Optional, \
+    Set, Tuple
 
 from repro.core.allocation import ChannelAssignment, RankingMatcher
 from repro.core.client import HerdClient
@@ -41,7 +42,6 @@ from repro.core.signaling import (
     open_downstream_packet,
 )
 
-_call_ids = itertools.count(1)
 
 
 @dataclass
@@ -82,6 +82,11 @@ class MixCallManager:
             raise ValueError("mix has no channels configured")
         self.mix = mix
         self.rng = rng or random.Random(0)
+        #: Call ids are allocated per manager, not per process: a
+        #: module-global counter would leak across simulations, making
+        #: the GRANT payloads of a second identically-seeded run in
+        #: the same interpreter differ from the first's.
+        self._call_ids = itertools.count(1)
         self._assignment = ChannelAssignment(len(mix.channels))
         self.matcher = RankingMatcher(self._assignment, self.rng)
         #: numeric id → (channel → slot)
@@ -123,7 +128,7 @@ class MixCallManager:
             return None
         slot = self._slots[numeric_id][channel]
         self.mix.channels[channel].start_call(slot)
-        call = ActiveCall(call_id=next(_call_ids),
+        call = ActiveCall(call_id=next(self._call_ids),
                           numeric_id=numeric_id, channel_id=channel,
                           outgoing=outgoing)
         self.calls[numeric_id] = call
@@ -285,6 +290,36 @@ class MixCallManager:
         for numeric_id in signalers:
             self.handle_signal(numeric_id)
         return active, payload
+
+    def process_round(self, round_index: int,
+                      upstream: List[Tuple[int, bytes,
+                                           List[Tuple[int, int, bool]]]],
+                      route: Optional[Callable[[int, bytes],
+                                               None]] = None,
+                      pre_downstream: Optional[Callable[[], None]]
+                      = None) -> Dict[int, bytes]:
+        """Round-synchronous batch entry point: ingest every channel's
+        upstream round, route recovered voice, and produce the whole
+        downstream round in one call.
+
+        ``upstream`` is a list of (channel_id, xor_packet,
+        manifest_entries) triples; they are ingested in the given
+        order (callers pass sorted channel order), each recovered
+        voice cell handed to ``route(numeric_id, cell)`` immediately —
+        exactly the interleaving a per-channel caller produces, so
+        allocation rng draws, GRANT queueing, and the downstream cell
+        census are identical to the per-channel path (DESIGN.md §9).
+        ``pre_downstream`` runs between ingestion and downstream
+        production (the zone rings pending callees there).
+        """
+        for channel_id, xor_packet, entries in upstream:
+            active, payload = self.process_upstream(channel_id,
+                                                    xor_packet, entries)
+            if active is not None and payload and route is not None:
+                route(active, payload)
+        if pre_downstream is not None:
+            pre_downstream()
+        return self.downstream_round(round_index)
 
 
 class CallState(Enum):

@@ -113,6 +113,27 @@ class SuperPeer:
                 sum(len(m) for m in combined.manifests))
         return combined
 
+    def process_round(self, round_index: int,
+                      channel_batches: Dict[
+                          int, Tuple[Sequence[bytes], Sequence[bytes]]]
+                      ) -> List[UpstreamRound]:
+        """Round-synchronous batch entry point: combine every hosted
+        channel's round in one call.
+
+        ``channel_batches`` maps channel id → (packets, manifests) in
+        slot order; channels are processed in sorted id order — the
+        same order a per-channel caller iterates — so the XOR results,
+        audit buffers, and observability hook calls are identical to
+        ``len(channel_batches)`` individual :meth:`combine_upstream`
+        calls (the observational-equivalence contract, DESIGN.md §9).
+        """
+        rounds = []
+        for channel_id in sorted(channel_batches):
+            packets, manifests = channel_batches[channel_id]
+            rounds.append(self.combine_upstream(channel_id, round_index,
+                                                packets, manifests))
+        return rounds
+
     def audit_packets(self, channel_id: int,
                       round_index: int) -> Tuple[bytes, ...]:
         """Return the buffered full packets of a recent round so the mix

@@ -22,6 +22,7 @@ from repro.netsim.engine import EventLoop
 from repro.netsim.packet import Packet
 from repro.netsim.node import Node
 from repro.netsim.link import Link
+from repro.netsim.rounds import CellBatch, RoundScheduler
 from repro.netsim.topology import (
     Site,
     GeoTopology,
@@ -37,6 +38,8 @@ __all__ = [
     "Packet",
     "Node",
     "Link",
+    "CellBatch",
+    "RoundScheduler",
     "Site",
     "GeoTopology",
     "EC2_REGIONS",

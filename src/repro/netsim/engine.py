@@ -45,6 +45,10 @@ class EventLoop:
     def __init__(self, seed: int = 0):
         self._queue = []
         self._counter = itertools.count()
+        #: Packet ids are allocated per loop, not per process, so two
+        #: identically-seeded runs in one interpreter stamp identical
+        #: ids (the determinism contract; see netsim.packet).
+        self._packet_ids = itertools.count()
         self._now = 0.0
         self.rng = random.Random(seed)
         self.events_processed = 0
@@ -57,6 +61,11 @@ class EventLoop:
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    def next_packet_id(self) -> int:
+        """Allocate the next loop-local packet id (stamped onto
+        packets by :meth:`~repro.netsim.link.Link.transmit`)."""
+        return next(self._packet_ids)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""

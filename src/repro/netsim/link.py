@@ -114,9 +114,16 @@ class Link:
         return delay
 
     def transmit(self, sender, packet: Packet) -> None:
-        """Send ``packet`` from ``sender`` to the other endpoint."""
+        """Send ``packet`` from ``sender`` to the other endpoint.
+
+        This is the per-packet compatibility path — one scheduled
+        delivery event per packet; :meth:`transmit_batch` carries a
+        whole round's cells in one call.  Existing per-packet callers
+        keep working unchanged (and warning-free)."""
         receiver = self.other(sender)
         packet.sent_at = self.loop.now
+        if packet.packet_id is None:
+            packet.packet_id = self.loop.next_packet_id()
         stats = self.stats[sender.name]
         for obs in self._observers:
             obs.record(self.loop.now, packet, sender.name, receiver.name)
@@ -132,6 +139,93 @@ class Link:
         stats.bytes += packet.size
         self.loop.schedule(self._delay_for(packet, sender.name),
                            lambda: receiver.receive(packet))
+
+    # -- round-synchronous batch path (DESIGN.md §9) ---------------------------
+
+    def _batch_delay(self, batch, sender_name: str) -> float:
+        """Delivery delay for a whole batch: the batch serializes as a
+        unit and draws at most one jitter sample, so a constant-rate
+        round costs O(1) rng draws and O(1) heap events per link."""
+        delay = self.one_way_delay
+        if self.bandwidth_bps is not None:
+            serialization = batch.total_bytes() / self.bandwidth_bps
+            if self.fifo:
+                start = max(self.loop.now,
+                            self._tx_free_at[sender_name])
+                finish = start + serialization
+                self._tx_free_at[sender_name] = finish
+                delay += finish - self.loop.now
+            else:
+                delay += serialization
+        if self.jitter_std > 0:
+            delay += abs(self.loop.rng.gauss(0.0, self.jitter_std))
+        return delay
+
+    def transmit_batch(self, sender, batch,
+                       inline: Optional[bool] = None) -> None:
+        """Send one round's cell vector from ``sender`` to the other
+        endpoint as a single transmission.
+
+        Observers defining ``record_batch`` see the vector directly
+        (O(1) calls per round); others fall back to per-cell
+        ``record`` with lightweight views, so the adversary's
+        observation stream is identical to the per-packet engine's.
+        Loss draws happen per cell, in emission order — the same rng
+        consumption as per-packet transmission.
+
+        ``inline``: deliver synchronously when the total delay is zero
+        (the default), skipping the heap entirely — the delivery
+        timestamp is unchanged, only the event is saved.  Pass
+        ``inline=False`` to force a scheduled delivery event.
+        """
+        if not len(batch):
+            return
+        receiver = self.other(sender)
+        stats = self.stats[sender.name]
+        for obs in self._observers:
+            record_batch = getattr(obs, "record_batch", None)
+            if record_batch is not None:
+                record_batch(self.loop.now, batch, sender.name,
+                             receiver.name)
+            else:
+                for cell in batch.cells():
+                    obs.record(self.loop.now, cell, sender.name,
+                               receiver.name)
+        delivered = batch
+        if self.loss_rate > 0:
+            from repro.netsim.rounds import CellBatch, CellView
+            rng = self.loop.rng
+            delivered = CellBatch(batch.src, batch.dst,
+                                  batch.round_index)
+            n_dropped = 0
+            for payload, size, kind, circuit_id in zip(
+                    batch.payloads, batch.sizes, batch.kinds,
+                    batch.circuit_ids):
+                if rng.random() < self.loss_rate:
+                    n_dropped += 1
+                    for obs in self._observers:
+                        record_drop = getattr(obs, "record_drop", None)
+                        if record_drop is not None:
+                            record_drop(
+                                self.loop.now,
+                                CellView(payload, size, kind,
+                                         circuit_id, sender.name,
+                                         receiver.name),
+                                sender.name, receiver.name)
+                else:
+                    delivered.append(payload, kind=kind,
+                                     circuit_id=circuit_id)
+            stats.dropped += n_dropped
+            if not len(delivered):
+                return
+        stats.packets += len(delivered)
+        stats.bytes += delivered.total_bytes()
+        delay = self._batch_delay(delivered, sender.name)
+        if delay == 0.0 and (inline or inline is None):
+            receiver.receive_batch(delivered)
+        else:
+            self.loop.schedule(
+                delay, lambda: receiver.receive_batch(delivered))
 
     def utilization_bps(self, direction_from: str, window: float,
                         now: Optional[float] = None) -> float:

@@ -45,6 +45,17 @@ class LinkObserver:
         self.observations.append(
             Observation(time=time, size=packet.size, src=src, dst=dst))
 
+    def record_batch(self, time: float, batch, src: str,
+                     dst: str) -> None:
+        """Called by :meth:`~repro.netsim.link.Link.transmit_batch`
+        with a whole round's cell vector.  One sighting is stored per
+        cell, in emission order — byte-identical to what per-packet
+        transmission of the same cells would have recorded (the
+        observational-equivalence contract, DESIGN.md §9)."""
+        append = self.observations.append
+        for size in batch.sizes:
+            append(Observation(time=time, size=size, src=src, dst=dst))
+
     def time_series(self, src: str, dst: str,
                     bin_width: float) -> Dict[int, int]:
         """Bytes-per-bin histogram for one directed link — the raw

@@ -9,11 +9,8 @@ can record; protocol code may read ``payload``.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
-
-_packet_ids = itertools.count()
 
 #: IPv4 (20) + UDP (8) header bytes added to every datagram on the wire.
 IP_UDP_HEADER_BYTES = 28
@@ -26,6 +23,13 @@ class Packet:
     ``kind`` is a protocol-internal label ("voip", "chaff", "signal",
     "control"); it exists for instrumentation and is *never* visible to
     the adversary model (observers record only size and time).
+
+    ``packet_id`` is stamped by the first :class:`~repro.netsim.link
+    .Link` that transmits the packet, from the owning
+    :meth:`~repro.netsim.engine.EventLoop.next_packet_id` counter.
+    Ids are loop-local by design: a process-global counter would leak
+    across simulations, making the second of two identically-seeded
+    runs in one interpreter differ from the first.
     """
 
     payload: bytes
@@ -34,7 +38,7 @@ class Packet:
     kind: str = "data"
     circuit_id: Optional[int] = None
     sent_at: float = 0.0
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    packet_id: Optional[int] = None
 
     @property
     def size(self) -> int:
@@ -42,5 +46,6 @@ class Packet:
         return len(self.payload) + IP_UDP_HEADER_BYTES
 
     def __repr__(self) -> str:  # compact repr for simulation logs
-        return (f"Packet(#{self.packet_id} {self.src}->{self.dst} "
+        ident = "?" if self.packet_id is None else self.packet_id
+        return (f"Packet(#{ident} {self.src}->{self.dst} "
                 f"{self.kind} {self.size}B)")

@@ -104,6 +104,20 @@ class LinkTap:
             "herd_link_dropped_total", {"link": f"{src}->{dst}"},
             help="packets dropped per directed link").inc()
 
+    def record_batch(self, time: float, batch, src: str,
+                     dst: str) -> None:
+        """Batch recording: O(1) bulk counter updates per round
+        instead of O(cells) — values and ``updated_at`` stamps match
+        the per-cell path exactly (integer float sums are exact)."""
+        labels = {"link": f"{src}->{dst}"}
+        self.registry.counter(
+            "herd_link_packets_total", labels,
+            help="packets offered per directed link").add(len(batch))
+        self.registry.counter(
+            "herd_link_bytes_total", labels,
+            help="bytes offered per directed link").add(
+                batch.total_bytes())
+
 
 class SuperPeerHook:
     """Per-SP logical-link accounting (§3.6 data plane)."""

@@ -27,6 +27,7 @@ from repro.simulation.deployment import (
 )
 from repro.simulation.testbed import HerdTestbed, build_testbed
 from repro.simulation.live import LiveZone
+from repro.simulation.roundsync import WireFabric
 from repro.simulation.wired import WiredConfig, WiredHerd
 from repro.simulation.federation import FederatedHerd
 from repro.simulation.churn import (
@@ -59,6 +60,7 @@ __all__ = [
     "HerdTestbed",
     "build_testbed",
     "LiveZone",
+    "WireFabric",
     "WiredConfig",
     "WiredHerd",
     "FederatedHerd",

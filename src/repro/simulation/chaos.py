@@ -54,6 +54,10 @@ class ChaosConfig:
         max_attempts=8, jitter=0.1))
     #: SPMonitor sampling cadence for degradation faults.
     sample_interval_s: float = 0.25
+    #: Zone execution engine: ``"event"`` (per-channel round path) or
+    #: ``"batch"`` (round-synchronous batch entry points).  The chaos
+    #: report's determinism key is identical under both.
+    execution: str = "event"
     #: Deprecated alias of ``n_clients`` (the repro.api rename unified
     #: the knob name across LiveZone / SimConfig / ChaosConfig).
     n_live_clients: InitVar[Optional[int]] = None
@@ -64,6 +68,9 @@ class ChaosConfig:
                 "ChaosConfig(n_live_clients=...) is deprecated; use "
                 "n_clients=...", DeprecationWarning, stacklevel=3)
             self.n_clients = n_live_clients
+        if self.execution not in ("event", "batch"):
+            raise ValueError("execution must be 'event' or 'batch', "
+                             f"not {self.execution!r}")
 
 
 def default_plan() -> FaultPlan:
@@ -199,7 +206,8 @@ def run_chaos(config: Optional[ChaosConfig] = None, *,
     zone = LiveZone(n_clients=cfg.n_clients,
                     n_channels=cfg.n_channels, k=cfg.k,
                     n_sps=cfg.n_sps, seed=cfg.seed, bed=bed,
-                    zone_id=LIVE_ZONE, client_prefix="live")
+                    zone_id=LIVE_ZONE, client_prefix="live",
+                    execution=cfg.execution)
     for i in range(cfg.n_direct_clients):
         bed.add_client(f"ctl-{i}", CTL_ZONE)
 

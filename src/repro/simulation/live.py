@@ -33,6 +33,8 @@ from repro.core.callmanager import CallState, ClientCallAgent, \
 from repro.core.channel import decode_manifest
 from repro.core.join import join_zone
 from repro.core.client import HerdClient
+from repro.simulation.roundsync import DEFAULT_ROUND_INTERVAL_S, \
+    EXECUTIONS, WireFabric
 from repro.simulation.testbed import HerdTestbed, build_testbed
 
 
@@ -60,7 +62,8 @@ class LiveZone:
                  seed: int = 20150817,
                  bed: Optional[HerdTestbed] = None,
                  zone_id: str = "zone-EU",
-                 client_prefix: str = "client"):
+                 client_prefix: str = "client",
+                 execution: str = "event"):
         if args:
             warnings.warn(
                 "positional LiveZone arguments are deprecated; pass "
@@ -78,6 +81,15 @@ class LiveZone:
             raise ValueError("need at least one superpeer")
         if n_sps > n_channels:
             raise ValueError("cannot have more SPs than channels")
+        if execution not in EXECUTIONS:
+            raise ValueError(f"execution must be one of {EXECUTIONS}, "
+                             f"not {execution!r}")
+        self.execution = execution
+        self.seed = seed
+        #: Optional wire plane (see :meth:`attach_wire`): when set,
+        #: every round's cells are offered to tapped netsim links under
+        #: the zone's execution engine.
+        self.wire: Optional[WireFabric] = None
         if bed is None:
             bed = build_testbed([(zone_id, "dc-eu", 1)], seed=seed)
         self.bed: HerdTestbed = bed
@@ -208,7 +220,9 @@ class LiveZone:
         for channel_id, sp in sorted(self._sp_of_channel.items()):
             self._upstream_channel(channel_id, sp)
 
-    def _upstream_channel(self, channel_id: int, sp) -> None:
+    def _gather_channel(self, channel_id: int, sp):
+        """Collect one channel's round of client emissions, in slot
+        order (payload only where a call is live on this channel)."""
         members = sp.channel_clients[channel_id]
         packets, manifests = [], []
         for client_id in members:
@@ -224,10 +238,10 @@ class LiveZone:
                                                         payload)
             packets.append(pkt)
             manifests.append(manifest)
-        if not packets:
-            return
-        up = sp.combine_upstream(channel_id, self.round_index,
-                                 packets, manifests)
+        return members, packets, manifests
+
+    def _decode_entries(self, channel_id: int, up) -> List[tuple]:
+        """Mix-side manifest decryption for one combined round."""
         entries = []
         for slot, raw in enumerate(up.manifests):
             client_id = self.mix.client_at_slot(channel_id, slot)
@@ -240,6 +254,28 @@ class LiveZone:
                                 expected_sequence=attachment.sequence
                                 - 1)
             entries.append((numeric, m.sequence, m.signal))
+        return entries
+
+    def _emit_upstream(self, sp, members, packets, up) -> None:
+        """Offer one channel's upstream cells to the wire plane:
+        each member's packet on its client↔SP link, then the combined
+        XOR round on the SP↔mix link."""
+        if self.wire is None:
+            return
+        for client_id, pkt in zip(members, packets):
+            self.wire.emit(client_id, sp.sp_id, pkt, kind="up")
+        self.wire.emit(sp.sp_id, self.mix.mix_id, up.xor_packet,
+                       kind="xor")
+
+    def _upstream_channel(self, channel_id: int, sp) -> None:
+        members, packets, manifests = self._gather_channel(channel_id,
+                                                           sp)
+        if not packets:
+            return
+        up = sp.combine_upstream(channel_id, self.round_index,
+                                 packets, manifests)
+        self._emit_upstream(sp, members, packets, up)
+        entries = self._decode_entries(channel_id, up)
         active, payload = self.manager.process_upstream(
             channel_id, up.xor_packet, entries)
         if active is not None and payload:
@@ -271,12 +307,21 @@ class LiveZone:
                     peer not in self.manager.calls:
                 self.manager.place_incoming(peer)
 
-    def _downstream(self) -> None:
-        round_packets = self.manager.downstream_round(self.round_index)
+    def _deliver_downstream(self, round_packets: Dict[int, bytes]
+                            ) -> None:
+        """Broadcast one downstream round to every channel member
+        (shared by both engines, so the wire image and client-side
+        processing are identical by construction)."""
         for channel_id, packet in round_packets.items():
             sp = self._sp_of_channel[channel_id]
+            if self.wire is not None:
+                self.wire.emit(self.mix.mix_id, sp.sp_id, packet,
+                               kind="down")
             for client_id, pkt in sp.broadcast_downstream(
                     channel_id, packet):
+                if self.wire is not None:
+                    self.wire.emit(sp.sp_id, client_id, pkt,
+                                   kind="bcast")
                 live = self.clients[client_id]
                 evt = live.agent.process_downstream(channel_id,
                                                     self.round_index,
@@ -284,11 +329,61 @@ class LiveZone:
                 if self.obs is not None and evt is not None:
                     self.obs.client_event(client_id, evt)
 
+    def _downstream(self) -> None:
+        self._deliver_downstream(
+            self.manager.downstream_round(self.round_index))
+
+    def _step_batch(self) -> None:
+        """The round-synchronous engine: the same round as the
+        per-channel path, through the core batch entry points.
+
+        Equivalence to the event path (DESIGN.md §9) holds because the
+        hot-path state is factored exactly along the batch seams:
+        client emission is gathered in the same sorted-channel /
+        slot order, SP combining is per-channel pure (grouping the
+        calls per SP cannot change any output), manifests decode from
+        per-attachment sequence counters, and the call manager ingests
+        channels in sorted order — the same interleaving of rng draws,
+        GRANT queueing, and voice routing as per-channel calls.
+        """
+        gathered = {}
+        for channel_id, sp in sorted(self._sp_of_channel.items()):
+            members, packets, manifests = self._gather_channel(
+                channel_id, sp)
+            if packets:
+                gathered[channel_id] = (sp, members, packets,
+                                        manifests)
+        per_sp: Dict[object, Dict[int, tuple]] = {}
+        for channel_id, (sp, _, packets,
+                         manifests) in gathered.items():
+            per_sp.setdefault(sp, {})[channel_id] = (packets,
+                                                     manifests)
+        rounds_by_channel = {}
+        for sp, batches in per_sp.items():
+            for up in sp.process_round(self.round_index, batches):
+                rounds_by_channel[up.channel_id] = up
+        upstream = []
+        for channel_id in sorted(rounds_by_channel):
+            up = rounds_by_channel[channel_id]
+            sp, members, packets, _ = gathered[channel_id]
+            self._emit_upstream(sp, members, packets, up)
+            upstream.append((channel_id, up.xor_packet,
+                             self._decode_entries(channel_id, up)))
+        round_packets = self.manager.process_round(
+            self.round_index, upstream, route=self._route_voice,
+            pre_downstream=self._ring_pending_callees)
+        self._deliver_downstream(round_packets)
+
     def step(self) -> None:
         """One codec-frame round: upstream, control, downstream."""
-        self._upstream()
-        self._ring_pending_callees()
-        self._downstream()
+        if self.execution == "batch":
+            self._step_batch()
+        else:
+            self._upstream()
+            self._ring_pending_callees()
+            self._downstream()
+        if self.wire is not None:
+            self.wire.flush_round(self.round_index)
         if self.obs is not None:
             self.obs.round_finished(self.round_index)
         self.round_index += 1
@@ -306,6 +401,21 @@ class LiveZone:
         scale; tests call it directly."""
         self.mix.report_utilization()
         return self.bed.directories[self.zone_id].run_epoch(epoch)
+
+    # -- the wire plane ----------------------------------------------------------
+
+    def attach_wire(self, observer=None,
+                    interval: float = DEFAULT_ROUND_INTERVAL_S
+                    ) -> WireFabric:
+        """Materialize the zone's wire plane: from the next round on,
+        every cell is offered to tapped netsim links under the zone's
+        execution engine (per-cell events or per-round batches — the
+        tap records byte-identical streams either way).  The adversary
+        observes via ``fabric.observer``."""
+        self.wire = WireFabric(seed=self.seed, interval=interval,
+                               execution=self.execution,
+                               observer=observer)
+        return self.wire
 
     # -- introspection ------------------------------------------------------------
 

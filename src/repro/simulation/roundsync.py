@@ -1,0 +1,212 @@
+"""The wire plane of a live zone, under either execution engine.
+
+A :class:`~repro.simulation.live.LiveZone` runs the SP data plane at
+round granularity but historically had no *wire image* — nothing an
+adversary could tap.  :class:`WireFabric` materializes the zone's
+logical cell flows (client→SP upstream, SP→mix XOR rounds, mix→SP
+downstream, SP→client broadcast) onto :mod:`repro.netsim` links, under
+one of two execution engines:
+
+* ``execution="event"`` — the classical per-cell schedule: one
+  :class:`~repro.netsim.packet.Packet` and one heap event per cell, as
+  a packet-level simulator would do.  O(cells) events per round.
+* ``execution="batch"`` — round-synchronous batches: a
+  :class:`~repro.netsim.rounds.RoundScheduler` fires one event per
+  round and every link carries its round's cells as a single
+  :class:`~repro.netsim.rounds.CellBatch`.  O(1) events per round.
+
+**Observational equivalence** (DESIGN.md §9): because Herd emission is
+constant-rate — a function of the clock, never of payload (invariant
+I6) — the two engines offer the same cells to the same links at the
+same virtual times in the same order, so a tap's
+:class:`~repro.netsim.observer.LinkObserver` records *byte-identical*
+observation streams under both.  The engines differ only in cost:
+events processed, objects allocated.
+
+The fabric is deliberately lazy: nodes and links appear on first
+emission, so mid-run churn (SP failures, re-joins) needs no
+re-wiring.  Links are zero-delay logical hops; the geographic path
+delays live in :mod:`repro.simulation.wired`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import Link
+from repro.netsim.node import Node
+from repro.netsim.observer import LinkObserver
+from repro.netsim.packet import Packet
+from repro.netsim.rounds import CellBatch, RoundScheduler
+
+EXECUTIONS = ("event", "batch")
+
+#: One codec frame (20 ms G.711): the round tick of the data plane.
+DEFAULT_ROUND_INTERVAL_S = 0.02
+
+
+def _noop_packet(_packet) -> None:
+    return None
+
+
+def _noop_batch(_batch) -> None:
+    return None
+
+
+class WireFabric:
+    """A zone's wire plane: cells offered to tapped links per round.
+
+    Usage: construct, assign to ``zone.wire``, and every
+    :meth:`LiveZone.step` flushes the round's cells through the
+    fabric.  Attach the adversary via ``fabric.observer`` (a global
+    passive tap on every link).
+
+    Parameters
+    ----------
+    seed:
+        Seed of the fabric's :class:`~repro.netsim.engine.EventLoop`
+        (only consumed by lossy/jittery links; the default zero-delay
+        fabric draws nothing).
+    interval:
+        Round tick in seconds of virtual time.
+    execution:
+        ``"event"`` (per-cell events/packets) or ``"batch"``
+        (one :class:`CellBatch` per link per round).
+    observer:
+        The tap attached to every link; defaults to a fresh global
+        :class:`~repro.netsim.observer.LinkObserver`.
+    """
+
+    def __init__(self, *, seed: int = 0,
+                 interval: float = DEFAULT_ROUND_INTERVAL_S,
+                 execution: str = "event",
+                 observer: Optional[LinkObserver] = None):
+        if execution not in EXECUTIONS:
+            raise ValueError(f"execution must be one of {EXECUTIONS}, "
+                             f"not {execution!r}")
+        self.execution = execution
+        self.loop = EventLoop(seed=seed)
+        self.scheduler = RoundScheduler(self.loop, interval)
+        self.scheduler.on_round(self._transmit_queued)
+        self.observer = observer if observer is not None \
+            else LinkObserver()
+        self.nodes: Dict[str, Node] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        #: (src, dst) → queued (payload, kind, count) runs of the
+        #: current round, in emission order (dict preserves insertion
+        #: order).  ``count`` > 1 encodes a run of wire-identical
+        #: cells sharing one payload reference (constant-rate fill).
+        self._pending: Dict[Tuple[str, str],
+                            List[Tuple[bytes, str, int]]] = {}
+        self.rounds_flushed = 0
+        self.cells_carried = 0
+
+    # -- lazy topology ---------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        """Get or create the named endpoint (a counting sink: the
+        protocol runs in the zone; the fabric carries the wire
+        image)."""
+        found = self.nodes.get(name)
+        if found is None:
+            found = Node(name, self.loop)
+            found.on_packet(_noop_packet)
+            found.on_batch(_noop_batch)
+            self.nodes[name] = found
+        return found
+
+    def link_between(self, a_name: str, b_name: str) -> Link:
+        """Get or create the zero-delay logical link between two
+        endpoints, with the fabric's observer attached."""
+        key = (a_name, b_name) if a_name <= b_name \
+            else (b_name, a_name)
+        found = self._links.get(key)
+        if found is None:
+            found = Link(self.loop, self.node(key[0]),
+                         self.node(key[1]))
+            found.add_observer(self.observer)
+            self._links[key] = found
+        return found
+
+    # -- emission --------------------------------------------------------------
+
+    def emit(self, src: str, dst: str, payload: bytes,
+             kind: str = "data") -> None:
+        """Queue one cell for this round's flush (payload by
+        reference)."""
+        self._pending.setdefault((src, dst), []).append((payload,
+                                                         kind, 1))
+
+    def emit_repeated(self, src: str, dst: str, payload: bytes,
+                      n: int, kind: str = "chaff") -> None:
+        """Queue ``n`` wire-identical cells sharing one payload
+        reference — the constant-rate fill of a trunk link costs one
+        queue entry regardless of the cell count (the batch engine
+        carries it via :meth:`CellBatch.append_repeated`; the event
+        engine expands it to n packets, as it would have anyway)."""
+        if n < 0:
+            raise ValueError("cannot emit a negative cell count")
+        if n:
+            self._pending.setdefault((src, dst), []).append(
+                (payload, kind, n))
+
+    def flush_round(self, round_index: int) -> None:
+        """Transmit everything queued, stamped at the round's tick.
+
+        Event engine: one transmission event per cell (plus one
+        delivery event each) — the per-cell hot path this fabric
+        exists to measure.  Batch engine: a single round event inside
+        which every link's vector rides one
+        :meth:`~repro.netsim.link.Link.transmit_batch` call.
+        Either way the cells hit the links in identical order at the
+        identical virtual time.
+        """
+        if self.execution == "batch":
+            self.scheduler.run_round(round_index)
+        else:
+            t = self.scheduler.time_of(round_index)
+            loop = self.loop
+            for (src, dst), runs in self._pending.items():
+                link = self.link_between(src, dst)
+                sender = self.nodes[src]
+                for payload, kind, count in runs:
+                    for _ in range(count):
+                        packet = Packet(payload, src, dst, kind=kind)
+                        loop.schedule_at(
+                            t, lambda lk=link, s=sender, p=packet:
+                            lk.transmit(s, p))
+                    self.cells_carried += count
+            self._pending.clear()
+            loop.run(until=t)
+            self.rounds_flushed += 1
+
+    def _transmit_queued(self, round_index: int) -> None:
+        """Batch-engine round handler: one CellBatch per pending
+        link, transmitted inline (zero delay → no extra events)."""
+        for (src, dst), runs in self._pending.items():
+            link = self.link_between(src, dst)
+            batch = CellBatch(src, dst, round_index)
+            for payload, kind, count in runs:
+                if count == 1:
+                    batch.append(payload, kind=kind)
+                else:
+                    batch.append_repeated(payload, count, kind=kind)
+            link.transmit_batch(self.nodes[src], batch)
+            self.cells_carried += len(batch)
+        self._pending.clear()
+        self.rounds_flushed += 1
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def events_processed(self) -> int:
+        """Heap events the wire plane cost so far — the quantity the
+        batch engine exists to collapse."""
+        return self.loop.events_processed
+
+    def __repr__(self) -> str:
+        return (f"WireFabric({self.execution}, "
+                f"{self.rounds_flushed} rounds, "
+                f"{self.cells_carried} cells, "
+                f"{self.events_processed} events)")

@@ -150,3 +150,68 @@ class TestSnapshot:
         reg = self._populated()
         reg.clear()
         assert len(reg) == 0 and reg.snapshot() == {}
+
+
+class TestBulkOps:
+    """Counter.add / Histogram.observe_many: the O(1)-per-round batch
+    path must be indistinguishable from sequential updates."""
+
+    def test_counter_add_equals_n_incs(self):
+        t = {"now": 0.0}
+        reg = MetricsRegistry(lambda: t["now"])
+        sequential = reg.counter("seq_total")
+        bulk = reg.counter("bulk_total")
+        t["now"] = 3.0
+        for _ in range(257):
+            sequential.inc()
+        bulk.add(257)
+        assert bulk.value == sequential.value == 257
+        assert bulk.updated_at == sequential.updated_at == 3.0
+
+    def test_counter_add_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").add(-1)
+
+    def test_observe_many_equals_sequential_observes(self):
+        values = [0.0007, 0.003, 0.4, 7.7, 1e6, 0.1, 0.1, 123.456]
+        t = {"now": 0.0}
+        reg = MetricsRegistry(lambda: t["now"])
+        sequential = reg.histogram("seq")
+        bulk = reg.histogram("bulk")
+        t["now"] = 9.0
+        for v in values:
+            sequential.observe(v)
+        bulk.observe_many(values)
+        assert bulk.bucket_counts == sequential.bucket_counts
+        assert bulk.count == sequential.count == len(values)
+        # Bit-for-bit, not approx: sum accumulates in iteration order.
+        assert bulk.sum == sequential.sum
+        assert bulk.updated_at == sequential.updated_at == 9.0
+        s_bulk = bulk.series_snapshot()
+        s_seq = sequential.series_snapshot()
+        del s_bulk["labels"], s_seq["labels"]
+        assert s_bulk == s_seq
+
+    def test_observe_many_empty_does_not_stamp(self):
+        t = {"now": 5.0}
+        reg = MetricsRegistry(lambda: t["now"])
+        h = reg.histogram("h")
+        h.observe_many([])
+        assert h.count == 0 and h.updated_at == 0.0
+
+    def test_bulk_ops_respect_cardinality_cap(self):
+        # Bulk updates address series through the same factory, so a
+        # run that hits MAX_SERIES_PER_NAME still fails loudly on the
+        # overflowing label set — but bulk updates to *existing*
+        # series keep working at the cap.
+        reg = MetricsRegistry()
+        for i in range(MAX_SERIES_PER_NAME):
+            reg.counter("capped_total", {"i": i})
+        with pytest.raises(LabelCardinalityError):
+            reg.counter("capped_total", {"i": "overflow"})
+        survivor = reg.counter("capped_total", {"i": 0})
+        survivor.add(41)
+        assert reg.value("capped_total", {"i": 0}) == 41
+        h = reg.histogram("capped_hist", {"i": "only"})
+        h.observe_many([0.5, 2.0])
+        assert h.count == 2
