@@ -25,6 +25,10 @@ Package map
   exporters.
 * :mod:`repro.api` — the :class:`~repro.api.Simulation` facade in
   front of testbed, live-zone, and chaos runs.
+* :mod:`repro.scenario` — the declarative composed-adversity scenario
+  engine: workload × churn × faults × adversary from
+  ``scenarios/*.toml``, replayable on both execution engines with a
+  pinned determinism key.
 
 Quick start
 -----------
@@ -42,12 +46,20 @@ from repro.api import RunReport, SimConfig, Simulation
 from repro.obs.metrics import MetricsRegistry
 from repro.simulation.testbed import HerdTestbed, build_testbed
 
+# After the simulation chain: repro.scenario's engine imports the
+# simulation package, whose chaos module imports repro.scenario.model —
+# loading simulation first keeps that cycle's lazy edge lazy.
+from repro.scenario import Scenario, ScenarioReport, run_scenario
+
 __all__ = [
     "HerdTestbed",
     "MetricsRegistry",
     "RunReport",
+    "Scenario",
+    "ScenarioReport",
     "SimConfig",
     "Simulation",
     "build_testbed",
+    "run_scenario",
     "__version__",
 ]

@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.obs.export import render_json, render_prometheus
 from repro.obs.instrument import Herdscope
 
-SCENARIOS = ("live", "testbed", "chaos")
+SCENARIOS = ("live", "testbed", "chaos", "scenario")
 EXECUTIONS = ("event", "batch")
 
 
@@ -56,6 +56,11 @@ class SimConfig:
     chaos:
         Optional :class:`~repro.simulation.chaos.ChaosConfig`; its
         seed/n_clients/n_channels are overridden by this config's.
+    scenario_def:
+        A :class:`~repro.scenario.model.Scenario` (the declarative
+        composed-adversity scenario engine).  Passing one selects
+        ``scenario="scenario"`` automatically; the scenario's own
+        seed, shape, and horizon drive the run.
     execution:
         ``"event"`` (default) — the classical per-cell / per-channel
         hot path; ``"batch"`` — round-synchronous batch execution
@@ -77,8 +82,9 @@ class SimConfig:
 
     __slots__ = ("scenario", "seed", "n_clients", "n_channels",
                  "n_sps", "k", "zone_id", "zone_specs",
-                 "client_prefix", "call_pairs", "chaos", "trace_path",
-                 "trace_buffer", "execution", "wiretap")
+                 "client_prefix", "call_pairs", "chaos",
+                 "scenario_def", "trace_path", "trace_buffer",
+                 "execution", "wiretap")
 
     def __init__(self, *, scenario: str = "live",
                  seed: int = 20150817, n_clients: int = 12,
@@ -87,9 +93,15 @@ class SimConfig:
                  zone_specs: Optional[
                      Sequence[Tuple[str, str, int]]] = None,
                  client_prefix: str = "client", call_pairs: int = 1,
-                 chaos=None, trace_path: Optional[str] = None,
+                 chaos=None, scenario_def=None,
+                 trace_path: Optional[str] = None,
                  trace_buffer: int = 4096,
                  execution: str = "event", wiretap: bool = False):
+        if scenario_def is not None and scenario == "live":
+            scenario = "scenario"
+        if scenario == "scenario" and scenario_def is None:
+            raise ValueError("scenario='scenario' needs scenario_def="
+                             "Scenario(...)")
         if scenario not in SCENARIOS:
             raise ValueError(f"scenario must be one of {SCENARIOS}, "
                              f"not {scenario!r}")
@@ -109,6 +121,7 @@ class SimConfig:
         self.client_prefix = client_prefix
         self.call_pairs = call_pairs
         self.chaos = chaos
+        self.scenario_def = scenario_def
         self.trace_path = trace_path
         self.trace_buffer = trace_buffer
         self.execution = execution
@@ -202,6 +215,8 @@ class Simulation:
         elif cfg.scenario == "testbed":
             rounds_run, detail = self._run_testbed(
                 rounds if rounds is not None else 50)
+        elif cfg.scenario == "scenario":
+            rounds_run, detail = self._run_scenario(until)
         else:
             rounds_run, detail = self._run_chaos(until)
         self._finished = True
@@ -330,3 +345,13 @@ class Simulation:
             chaos_cfg = replace(chaos_cfg, horizon_s=float(until))
         report = run_chaos(chaos_cfg, scope=self.scope)
         return report.rounds_run, report
+
+    def _run_scenario(self, until: Optional[float]) -> Tuple[int, Any]:
+        from repro.scenario.engine import execute
+        cfg = self.config
+        scenario = cfg.scenario_def
+        if until is not None and float(until) != scenario.horizon_s:
+            scenario = scenario.with_horizon(float(until))
+        outcome = execute(scenario, execution=cfg.execution,
+                          scope=self.scope)
+        return outcome.rounds_run, outcome

@@ -12,6 +12,10 @@ Gives a downstream user one-command access to the headline results:
   metrics (Prometheus text or JSON).
 * ``experiments`` — run the whole evaluation (E1–E9 summaries).
 * ``lint``        — herdlint, the protocol-aware static-analysis gate.
+* ``scenario``    — run/list/validate the declarative composed-
+  adversity scenario corpus (``scenarios/*.toml``); ``scenario run``
+  exits nonzero when survival criteria, invariants, or cross-engine
+  determinism fail, so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -151,6 +155,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run(args)
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenario.cli import run
+    return run(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import run_evaluation
     report = run_evaluation(n_users=args.users, seed=args.seed)
@@ -234,6 +243,12 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="herdlint: determinism & crypto-hygiene checks")
     add_lint_arguments(p_lint)
 
+    from repro.scenario.cli import add_scenario_arguments
+    p_scenario = sub.add_parser(
+        "scenario",
+        help="run/list/validate composed-adversity scenarios")
+    add_scenario_arguments(p_scenario)
+
     p_all = sub.add_parser("experiments", help="run the evaluation")
     p_all.add_argument("--users", type=int, default=5000)
     p_all.add_argument("--days", type=int, default=1)
@@ -255,6 +270,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "experiments": _cmd_experiments,
     "lint": _cmd_lint,
+    "scenario": _cmd_scenario,
 }
 
 

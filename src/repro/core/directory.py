@@ -32,6 +32,14 @@ from repro.crypto.pki import (
 )
 
 
+class DirectoryStalledError(RuntimeError):
+    """The zone directory is not answering (a ``DIRECTORY_STALL``
+    fault window).  A ``RuntimeError`` subclass so every existing
+    join-retry path — :func:`~repro.core.join.join_with_retries` and
+    the fault injector's :class:`~repro.core.retry.LoopRetry` re-joins
+    — backs off and retries instead of aborting."""
+
+
 @dataclass(frozen=True)
 class RendezvousRecord:
     """A client's published rendezvous point: its public identity key
@@ -57,6 +65,10 @@ class ZoneDirectory:
         self._rendezvous: Dict[bytes, RendezvousRecord] = {}
         self._issued: Dict[str, Certificate] = {}
         self._utilization_reports: Dict[str, float] = {}
+        #: When True, the directory refuses redirection requests
+        #: (see :class:`DirectoryStalledError`); set/cleared by the
+        #: fault injector's ``DIRECTORY_STALL`` window.
+        self.stalled = False
 
     # -- certification -----------------------------------------------------
 
@@ -95,6 +107,10 @@ class ZoneDirectory:
     def pick_mix(self, exclude: Optional[str] = None) -> str:
         """A uniformly random mix of the zone (used for join redirection
         and rendezvous selection — invariant I5 requires uniformity)."""
+        if self.stalled:
+            raise DirectoryStalledError(
+                f"directory of zone {self.zone.zone_id} is not "
+                "responding")
         candidates = [m for m in self.zone.mix_ids if m != exclude]
         if not candidates:
             raise RuntimeError(f"zone {self.zone.zone_id} has no "

@@ -90,6 +90,12 @@ class FaultInjector:
         self.on_mix_crash: List[Callable[[FaultSpec, List[str]], None]] = []
         self.on_sp_crash: List[Callable[[FaultSpec, List[str]], None]] = []
         self.on_recovery: List[Callable[[FaultSpec], None]] = []
+        #: Graceful-degradation hook: called with ``(spec, True)`` when
+        #: an OVERLOAD window opens and ``(spec, False)`` when it
+        #: closes.  The scenario engine wires load shedding
+        #: (:meth:`repro.simulation.live.LiveZone.set_overload`)
+        #: through this.
+        self.on_overload: List[Callable[[FaultSpec, bool], None]] = []
         #: Optional observability hook (see :class:`repro.obs
         #: .instrument.FaultHook`): timeline entries become trace
         #: events, injected→recovered windows become spans.
@@ -113,6 +119,10 @@ class FaultInjector:
             self._apply_mix_crash(spec)
         elif spec.kind is FaultKind.SP_CRASH:
             self._apply_sp_crash(spec)
+        elif spec.kind is FaultKind.OVERLOAD:
+            self._apply_overload(spec)
+        elif spec.kind is FaultKind.DIRECTORY_STALL:
+            self._apply_directory_stall(spec)
         else:
             self._apply_degradation(spec)
 
@@ -191,6 +201,30 @@ class FaultInjector:
                     "; ".join(detail_parts) or "no-op target")
         self.loop.schedule(spec.duration_s, lambda: self.revert(spec))
 
+    def _apply_overload(self, spec: FaultSpec) -> None:
+        """Open a graceful-degradation window: consumers registered on
+        :attr:`on_overload` engage shedding/backpressure; the window
+        always closes itself after ``duration_s``."""
+        self.record("injected", spec.kind.value, spec.target,
+                    f"capacity={spec.capacity_fraction:g}")
+        for hook in self.on_overload:
+            hook(spec, True)
+        self.loop.schedule(spec.duration_s, lambda: self.revert(spec))
+
+    def _apply_directory_stall(self, spec: FaultSpec) -> None:
+        """Stall a zone directory: joins/re-joins fail with
+        :class:`~repro.core.directory.DirectoryStalledError` until the
+        window ends, so clients back off via their retry policies."""
+        directory = self.bed.directories.get(spec.target)
+        if directory is None:
+            self.record("skipped", spec.kind.value, spec.target,
+                        "no such directory")
+            return
+        directory.stalled = True
+        self.record("injected", spec.kind.value, spec.target,
+                    "directory unresponsive")
+        self.loop.schedule(spec.duration_s, lambda: self.revert(spec))
+
     # -- recovery --------------------------------------------------------------
 
     def revert(self, spec: FaultSpec) -> None:
@@ -207,6 +241,15 @@ class FaultInjector:
             if sp is None or spec.target in self.bed.superpeers:
                 return
             recover_superpeer(self.bed, sp)
+            self.record("recovered", spec.kind.value, spec.target)
+        elif spec.kind is FaultKind.OVERLOAD:
+            for hook in self.on_overload:
+                hook(spec, False)
+            self.record("recovered", spec.kind.value, spec.target)
+        elif spec.kind is FaultKind.DIRECTORY_STALL:
+            directory = self.bed.directories.get(spec.target)
+            if directory is not None:
+                directory.stalled = False
             self.record("recovered", spec.kind.value, spec.target)
         else:
             handle = self._degrade_handles.pop(spec.key(), None)

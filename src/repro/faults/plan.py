@@ -28,6 +28,13 @@ class FaultKind(Enum):
     LINK_PARTITION = "link_partition"
     LOSS_BURST = "loss_burst"
     JITTER_BURST = "jitter_burst"
+    #: Load spike beyond provisioned capacity: the data plane sheds
+    #: payload admission (chaff fills the wire, so the adversary sees
+    #: nothing) and clients back-pressure deferred cells.
+    OVERLOAD = "overload"
+    #: The zone directory stops answering: joins and re-joins fail
+    #: until the window ends; clients back off via their retry policy.
+    DIRECTORY_STALL = "directory_stall"
 
 
 #: Kinds that mutate link/quality state for a window and must revert.
@@ -36,6 +43,14 @@ _DEGRADATION_KINDS = frozenset({
     FaultKind.LINK_PARTITION,
     FaultKind.LOSS_BURST,
     FaultKind.JITTER_BURST,
+})
+
+#: Kinds that are only meaningful as a bounded window (must carry a
+#: ``duration_s``): the degradations plus the graceful-degradation
+#: kinds, which engage shedding/backpressure and must release it.
+_WINDOWED_KINDS = _DEGRADATION_KINDS | frozenset({
+    FaultKind.OVERLOAD,
+    FaultKind.DIRECTORY_STALL,
 })
 
 
@@ -62,6 +77,10 @@ class FaultSpec:
         For ``MIX_CRASH``: how long the directory keeps redirecting
         joins to the dead mix before pruning it (an *unclean* crash;
         0 means the crash is detected instantly).
+    capacity_fraction:
+        For ``OVERLOAD``: the fraction of per-channel payload slots
+        still admitted per round while the overload lasts (0 = full
+        backpressure, every payload cell deferred; 1 = no shedding).
     """
 
     kind: FaultKind
@@ -71,6 +90,7 @@ class FaultSpec:
     loss: float = 0.0
     jitter_ms: float = 0.0
     detection_delay_s: float = 0.0
+    capacity_fraction: float = 0.5
 
     def __post_init__(self):
         if self.at_s < 0:
@@ -85,7 +105,9 @@ class FaultSpec:
             raise ValueError("jitter cannot be negative")
         if self.detection_delay_s < 0:
             raise ValueError("detection delay cannot be negative")
-        if self.kind in _DEGRADATION_KINDS and self.duration_s is None:
+        if not 0.0 <= self.capacity_fraction <= 1.0:
+            raise ValueError("capacity_fraction must be in [0, 1]")
+        if self.kind in _WINDOWED_KINDS and self.duration_s is None:
             raise ValueError(
                 f"{self.kind.value} needs a duration_s window")
 
@@ -115,6 +137,7 @@ class FaultPlan:
             digest.update(repr((
                 spec.kind.value, spec.at_s, spec.target, spec.duration_s,
                 spec.loss, spec.jitter_ms, spec.detection_delay_s,
+                spec.capacity_fraction,
             )).encode())
         return digest.hexdigest()
 

@@ -1,0 +1,55 @@
+"""The declarative scenario engine (ROADMAP item 4).
+
+A :class:`Scenario` composes the four adversity axes Herd's
+availability claims (§3.1, §3.5, §3.6.4) must survive *together*:
+
+* **workload** — call arrival patterns (constant pairs, flash-crowd
+  spikes, seeded Poisson arrivals with hold times),
+* **topology/churn** — client join/leave schedules against the
+  control zone,
+* **faults** — every :class:`~repro.faults.plan.FaultKind`, including
+  the graceful-degradation kinds ``OVERLOAD`` (SP load shedding +
+  client backpressure) and ``DIRECTORY_STALL`` (join backpressure via
+  retry policies),
+* **adversary** — passive wiretap or a Sybil SP-degradation campaign
+  against the blacklist machinery.
+
+Scenarios are loaded from ``scenarios/*.toml``
+(:func:`~repro.scenario.loader.load_scenario`), validated with
+actionable errors, and compiled onto the
+:class:`~repro.api.Simulation` facade so each runs on both execution
+engines with a pinned ``determinism_key``
+(:class:`~repro.scenario.report.ScenarioReport`).  ``repro scenario
+run|list|validate`` drives the corpus; CI smoke-runs it on every PR.
+"""
+
+from repro.scenario.model import (
+    Adversary,
+    ChurnEvent,
+    RejoinStats,
+    Scenario,
+    ScenarioError,
+    SurvivalCriteria,
+    Workload,
+    ZoneShape,
+)
+from repro.scenario.loader import load_corpus, load_scenario
+from repro.scenario.engine import ScenarioOutcome, execute
+from repro.scenario.report import ScenarioReport, run_scenario
+
+__all__ = [
+    "Adversary",
+    "ChurnEvent",
+    "RejoinStats",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioOutcome",
+    "ScenarioReport",
+    "SurvivalCriteria",
+    "Workload",
+    "ZoneShape",
+    "execute",
+    "load_corpus",
+    "load_scenario",
+    "run_scenario",
+]

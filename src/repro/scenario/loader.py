@@ -1,0 +1,328 @@
+"""Loading scenarios from ``scenarios/*.toml``.
+
+The loader is strict: unknown keys are rejected (with a did-you-mean
+suggestion), every value is type-checked before it reaches the model,
+and all errors carry ``file → section → key`` context so a broken
+corpus entry fails CI with a message that points at the exact line of
+TOML to fix.
+
+``tomllib`` is stdlib from Python 3.11; the package still claims 3.9
+compatibility, so the import is gated and loading (only loading — the
+programmatic API works everywhere) raises an actionable
+:class:`~repro.scenario.model.ScenarioError` on older interpreters.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+try:  # pragma: no cover - exercised only on Python < 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover
+    tomllib = None
+
+from repro.core.retry import BackoffPolicy
+from repro.faults.plan import FaultKind, FaultSpec
+from repro.scenario.model import (
+    Adversary,
+    ChurnEvent,
+    Scenario,
+    ScenarioError,
+    SurvivalCriteria,
+    Workload,
+    ZoneShape,
+    expand_target,
+)
+
+_PathLike = Union[str, Path]
+
+
+def _suggest(key: str, known: Sequence[str]) -> str:
+    close = difflib.get_close_matches(key, known, n=1)
+    return f" (did you mean {close[0]!r}?)" if close else ""
+
+
+_REQUIRED = object()
+
+
+class _Section:
+    """One TOML table with context-carrying accessors."""
+
+    def __init__(self, data: Dict[str, Any], where: str):
+        self.data = dict(data)
+        self.where = where
+
+    def fail(self, message: str) -> "ScenarioError":
+        return ScenarioError(f"{self.where}: {message}")
+
+    def check_keys(self, known: Sequence[str]) -> None:
+        for key in self.data:
+            if key not in known:
+                raise self.fail(
+                    f"unknown key {key!r}{_suggest(key, known)}; "
+                    f"allowed keys: {', '.join(sorted(known))}")
+
+    def take(self, key: str, kind, default=_REQUIRED):
+        """Pop ``key``, type-checked against ``kind`` (bool before int
+        — bools are ints in Python and we refuse the pun)."""
+        if key not in self.data:
+            if default is _REQUIRED:
+                raise self.fail(f"missing required key {key!r}")
+            return default
+        value = self.data[key]
+        if kind is float and isinstance(value, int) and \
+                not isinstance(value, bool):
+            value = float(value)
+        if isinstance(value, bool) and kind is not bool:
+            raise self.fail(f"{key!r} must be {kind.__name__}, "
+                            f"got a boolean")
+        if not isinstance(value, kind):
+            raise self.fail(
+                f"{key!r} must be {kind.__name__}, got "
+                f"{type(value).__name__} ({value!r})")
+        return value
+
+    def take_str_list(self, key: str, default=()) -> Tuple[str, ...]:
+        value = self.data.get(key, None)
+        if value is None:
+            return tuple(default)
+        if not isinstance(value, list) or \
+                not all(isinstance(v, str) for v in value):
+            raise self.fail(f"{key!r} must be a list of strings")
+        return tuple(value)
+
+    def subtables(self, key: str) -> List[Dict[str, Any]]:
+        value = self.data.get(key, [])
+        if not isinstance(value, list) or \
+                not all(isinstance(v, dict) for v in value):
+            raise self.fail(f"[[{key}]] must be an array of tables")
+        return value
+
+
+def _parse_zone(data: Dict[str, Any], where: str) -> ZoneShape:
+    sec = _Section(data, where)
+    sec.check_keys(["n_clients", "n_channels", "n_sps", "k",
+                    "n_direct_clients", "client_prefix"])
+    try:
+        return ZoneShape(
+            n_clients=sec.take("n_clients", int, 12),
+            n_channels=sec.take("n_channels", int, 6),
+            n_sps=sec.take("n_sps", int, 2),
+            k=sec.take("k", int, 3),
+            n_direct_clients=sec.take("n_direct_clients", int, 6),
+            client_prefix=sec.take("client_prefix", str, "live"))
+    except ScenarioError as exc:
+        raise sec.fail(str(exc)) from None
+
+
+def _parse_workload(data: Dict[str, Any], where: str) -> Workload:
+    sec = _Section(data, where)
+    sec.check_keys(["kind", "call_pairs", "call_start_s", "spike_at_s",
+                    "spike_pairs", "arrival_rate_per_s", "call_hold_s"])
+    try:
+        return Workload(
+            kind=sec.take("kind", str, "constant"),
+            call_pairs=sec.take("call_pairs", int, 1),
+            call_start_s=sec.take("call_start_s", float, 0.5),
+            spike_at_s=sec.take("spike_at_s", float, 0.0),
+            spike_pairs=sec.take("spike_pairs", int, 0),
+            arrival_rate_per_s=sec.take("arrival_rate_per_s", float,
+                                        0.0),
+            call_hold_s=sec.take("call_hold_s", float, 0.0))
+    except ScenarioError as exc:
+        raise sec.fail(str(exc)) from None
+
+
+def _parse_churn(tables: List[Dict[str, Any]],
+                 where: str) -> Tuple[ChurnEvent, ...]:
+    events = []
+    for i, data in enumerate(tables):
+        sec = _Section(data, f"{where}[{i}]")
+        sec.check_keys(["at_s", "action", "count"])
+        try:
+            events.append(ChurnEvent(
+                at_s=sec.take("at_s", float),
+                action=sec.take("action", str),
+                count=sec.take("count", int, 1)))
+        except ScenarioError as exc:
+            raise sec.fail(str(exc)) from None
+    return tuple(events)
+
+
+def _parse_fault(data: Dict[str, Any], where: str) -> FaultSpec:
+    sec = _Section(data, where)
+    sec.check_keys(["kind", "at_s", "target", "duration_s",
+                    "detection_delay_s", "loss", "jitter_ms",
+                    "capacity_fraction"])
+    kind_name = sec.take("kind", str)
+    try:
+        kind = FaultKind(kind_name)
+    except ValueError:
+        allowed = [k.value for k in FaultKind]
+        raise sec.fail(
+            f"unknown fault kind {kind_name!r}"
+            f"{_suggest(kind_name, allowed)}; allowed kinds: "
+            f"{', '.join(allowed)}") from None
+    duration = sec.take("duration_s", float, None) \
+        if "duration_s" in sec.data else None
+    try:
+        return FaultSpec(
+            kind=kind,
+            at_s=sec.take("at_s", float),
+            target=expand_target(kind, sec.take("target", str)),
+            duration_s=duration,
+            detection_delay_s=sec.take("detection_delay_s", float, 0.0),
+            loss=sec.take("loss", float, 0.3),
+            jitter_ms=sec.take("jitter_ms", float, 50.0),
+            capacity_fraction=sec.take("capacity_fraction", float, 0.5))
+    except (ScenarioError, ValueError) as exc:
+        raise sec.fail(str(exc)) from None
+
+
+def _parse_adversary(data: Dict[str, Any], where: str) -> Adversary:
+    sec = _Section(data, where)
+    sec.check_keys(["kind", "targets", "at_s", "duration_s", "loss",
+                    "jitter_ms"])
+    try:
+        return Adversary(
+            kind=sec.take("kind", str, "none"),
+            targets=sec.take_str_list("targets"),
+            at_s=sec.take("at_s", float, 1.0),
+            duration_s=sec.take("duration_s", float, 4.0),
+            loss=sec.take("loss", float, 0.30),
+            jitter_ms=sec.take("jitter_ms", float, 80.0))
+    except ScenarioError as exc:
+        raise sec.fail(str(exc)) from None
+
+
+def _parse_criteria(data: Dict[str, Any],
+                    where: str) -> SurvivalCriteria:
+    sec = _Section(data, where)
+    sec.check_keys(["min_call_survival_rate", "max_dropped_failovers",
+                    "require_all_rejoined", "max_rejoin_latency_s",
+                    "require_shedding", "require_blacklist",
+                    "min_call_legs_established"])
+    max_dropped = sec.take("max_dropped_failovers", int, None) \
+        if "max_dropped_failovers" in sec.data else None
+    max_latency = sec.take("max_rejoin_latency_s", float, None) \
+        if "max_rejoin_latency_s" in sec.data else None
+    try:
+        return SurvivalCriteria(
+            min_call_survival_rate=sec.take("min_call_survival_rate",
+                                            float, 0.0),
+            max_dropped_failovers=max_dropped,
+            require_all_rejoined=sec.take("require_all_rejoined", bool,
+                                          False),
+            max_rejoin_latency_s=max_latency,
+            require_shedding=sec.take("require_shedding", bool, False),
+            require_blacklist=sec.take_str_list("require_blacklist"),
+            min_call_legs_established=sec.take(
+                "min_call_legs_established", int, 0))
+    except ScenarioError as exc:
+        raise sec.fail(str(exc)) from None
+
+
+def _parse_rejoin(data: Dict[str, Any], where: str) -> BackoffPolicy:
+    sec = _Section(data, where)
+    sec.check_keys(["base_delay_s", "multiplier", "max_delay_s",
+                    "max_attempts", "jitter"])
+    try:
+        return BackoffPolicy(
+            base_delay_s=sec.take("base_delay_s", float, 0.25),
+            multiplier=sec.take("multiplier", float, 2.0),
+            max_delay_s=sec.take("max_delay_s", float, 2.0),
+            max_attempts=sec.take("max_attempts", int, 8),
+            jitter=sec.take("jitter", float, 0.1))
+    except ValueError as exc:
+        raise sec.fail(str(exc)) from None
+
+
+_TOP_KEYS = ["scenario", "zone", "workload", "churn", "fault",
+             "adversary", "rejoin", "criteria"]
+_SCENARIO_KEYS = ["name", "description", "seed", "horizon_s",
+                  "round_interval_s", "sample_interval_s"]
+
+
+def parse_scenario(data: Dict[str, Any],
+                   where: str = "<scenario>") -> Scenario:
+    """Build a validated :class:`Scenario` from decoded TOML data."""
+    top = _Section(data, where)
+    top.check_keys(_TOP_KEYS)
+    head = _Section(top.take("scenario", dict, {}),
+                    f"{where}: [scenario]")
+    head.check_keys(_SCENARIO_KEYS)
+    try:
+        scenario = Scenario(
+            name=head.take("name", str),
+            description=head.take("description", str, ""),
+            seed=head.take("seed", int, 20150817),
+            horizon_s=head.take("horizon_s", float, 6.0),
+            round_interval_s=head.take("round_interval_s", float, 0.05),
+            sample_interval_s=head.take("sample_interval_s", float,
+                                        0.25),
+            zone=_parse_zone(top.take("zone", dict, {}),
+                             f"{where}: [zone]"),
+            workload=_parse_workload(top.take("workload", dict, {}),
+                                     f"{where}: [workload]"),
+            churn=_parse_churn(top.subtables("churn"),
+                               f"{where}: [[churn]]"),
+            faults=tuple(
+                _parse_fault(t, f"{where}: [[fault]][{i}]")
+                for i, t in enumerate(top.subtables("fault"))),
+            adversary=_parse_adversary(
+                top.take("adversary", dict, {}),
+                f"{where}: [adversary]"),
+            rejoin_policy=_parse_rejoin(top.take("rejoin", dict, {}),
+                                        f"{where}: [rejoin]"),
+            criteria=_parse_criteria(top.take("criteria", dict, {}),
+                                     f"{where}: [criteria]"))
+        scenario.validate()
+        return scenario
+    except ScenarioError as exc:
+        msg = str(exc)
+        if not msg.startswith(where):
+            msg = f"{where}: {msg}"
+        raise ScenarioError(msg) from None
+
+
+def load_scenario(path: _PathLike) -> Scenario:
+    """Load and validate one ``*.toml`` scenario file."""
+    if tomllib is None:
+        raise ScenarioError(
+            "loading TOML scenarios needs Python >= 3.11 (stdlib "
+            "tomllib); construct Scenario objects programmatically on "
+            "older interpreters")
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise ScenarioError(f"{path}: cannot read scenario file: "
+                            f"{exc}") from None
+    try:
+        data = tomllib.loads(raw.decode("utf-8"))
+    except tomllib.TOMLDecodeError as exc:
+        raise ScenarioError(f"{path}: invalid TOML: {exc}") from None
+    return parse_scenario(data, where=str(path))
+
+
+def load_corpus(directory: _PathLike,
+                pattern: str = "*.toml") -> List[Scenario]:
+    """Load every scenario under ``directory`` (sorted by filename so
+    corpus order is stable), failing on the first invalid file."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ScenarioError(f"{directory}: not a scenario directory")
+    paths = sorted(directory.glob(pattern))
+    if not paths:
+        raise ScenarioError(
+            f"{directory}: no {pattern} scenario files found")
+    scenarios = [load_scenario(p) for p in paths]
+    names = [s.name for s in scenarios]
+    dupes = {n for n in names if names.count(n) > 1}
+    if dupes:
+        raise ScenarioError(
+            f"{directory}: duplicate scenario names: "
+            f"{', '.join(sorted(dupes))}")
+    return scenarios

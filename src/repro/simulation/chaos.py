@@ -18,19 +18,24 @@ import warnings
 from dataclasses import InitVar, dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.blacklist import SPMonitor
-from repro.core.callmanager import CallState, FailoverRecord
-from repro.core.join import join_zone
-from repro.core.retry import BackoffPolicy, LoopRetry
-from repro.faults.injector import FaultInjector, TimelineEntry
+from repro.core.callmanager import FailoverRecord
+from repro.core.retry import BackoffPolicy
+from repro.faults.injector import TimelineEntry
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
-from repro.netsim.engine import EventLoop
-from repro.simulation.churn import fail_superpeer
-from repro.simulation.live import LiveZone
-from repro.simulation.testbed import build_testbed
+from repro.scenario.model import (
+    CTL_ZONE,
+    LIVE_ZONE,
+    RejoinStats,
+    Scenario,
+    Workload,
+    ZoneShape,
+)
 
-LIVE_ZONE = "zone-live"
-CTL_ZONE = "zone-ctl"
+__all__ = [
+    "CTL_ZONE", "LIVE_ZONE", "ChaosConfig", "ChaosReport",
+    "RejoinStats", "blacklist_plan", "default_plan", "run_chaos",
+    "scenario_from_chaos_config",
+]
 
 
 @dataclass
@@ -100,23 +105,6 @@ def blacklist_plan() -> FaultPlan:
 
 
 @dataclass
-class RejoinStats:
-    """One orphaned client's backoff-driven re-join."""
-
-    client_id: str
-    orphaned_at_s: float
-    rejoined_at_s: Optional[float]
-    attempts: int
-    backoff_s: float
-
-    @property
-    def latency_s(self) -> Optional[float]:
-        if self.rejoined_at_s is None:
-            return None
-        return self.rejoined_at_s - self.orphaned_at_s
-
-
-@dataclass
 class ChaosReport:
     """Everything a chaos run produced."""
 
@@ -178,6 +166,30 @@ class ChaosReport:
         )
 
 
+def scenario_from_chaos_config(cfg: ChaosConfig) -> Scenario:
+    """The chaos scenario as a declarative :class:`Scenario` — the
+    same deployment shape, workload, plan, and retry policy the
+    hand-rolled ``run_chaos`` body used to schedule."""
+    plan = cfg.plan or default_plan()
+    return Scenario(
+        name="chaos",
+        description="mix crash + SP loss mid-call (§3.5/§3.6.4 "
+                    "acceptance scenario)",
+        seed=cfg.seed,
+        horizon_s=cfg.horizon_s,
+        round_interval_s=cfg.round_interval_s,
+        sample_interval_s=cfg.sample_interval_s,
+        zone=ZoneShape(n_clients=cfg.n_clients,
+                       n_channels=cfg.n_channels, n_sps=cfg.n_sps,
+                       k=cfg.k, n_direct_clients=cfg.n_direct_clients,
+                       client_prefix="live"),
+        workload=Workload(kind="constant", call_pairs=cfg.call_pairs,
+                          call_start_s=cfg.call_start_s),
+        faults=tuple(plan.specs),
+        rejoin_policy=cfg.rejoin_policy,
+    )
+
+
 def run_chaos(config: Optional[ChaosConfig] = None, *,
               seed: Optional[int] = None,
               n_clients: Optional[int] = None,
@@ -190,6 +202,13 @@ def run_chaos(config: Optional[ChaosConfig] = None, *,
     is an optional :class:`repro.obs.instrument.Herdscope` that gets
     wired into the loop, injector, and live zone so the run produces
     metrics and traces.
+
+    Since the scenario engine landed this is a thin compatibility
+    shim: the config compiles to a :class:`Scenario`
+    (:func:`scenario_from_chaos_config`) and runs on
+    :func:`repro.scenario.engine.execute`, whose base path schedules
+    the exact same events — determinism keys of pre-engine runs are
+    preserved.
     """
     cfg = config or ChaosConfig()
     overrides = {name: value
@@ -197,146 +216,22 @@ def run_chaos(config: Optional[ChaosConfig] = None, *,
                                      ("n_clients", n_clients),
                                      ("n_channels", n_channels))
                  if value is not None}
+    # Imported here, not at module scope: the engine imports the
+    # simulation package (LiveZone, testbed, churn), so this is the
+    # one edge of the scenario↔simulation cycle that must stay lazy.
+    from repro.scenario.engine import execute
     if overrides:
         cfg = replace(cfg, **overrides)
-    plan = cfg.plan or default_plan()
-    loop = EventLoop(seed=cfg.seed)
-    bed = build_testbed([(LIVE_ZONE, "dc-live", 1),
-                         (CTL_ZONE, "dc-ctl", 2)], seed=cfg.seed)
-    zone = LiveZone(n_clients=cfg.n_clients,
-                    n_channels=cfg.n_channels, k=cfg.k,
-                    n_sps=cfg.n_sps, seed=cfg.seed, bed=bed,
-                    zone_id=LIVE_ZONE, client_prefix="live",
-                    execution=cfg.execution)
-    for i in range(cfg.n_direct_clients):
-        bed.add_client(f"ctl-{i}", CTL_ZONE)
-
-    monitor = SPMonitor()
-    injector = FaultInjector(bed, loop, monitor=monitor,
-                             sp_full_leave=False,
-                             sample_interval_s=cfg.sample_interval_s)
-    if scope is not None:
-        scope.attach_loop(loop)
-        scope.attach_live_zone(zone)
-        scope.attach_injector(injector)
-
-    rejoins: List[RejoinStats] = []
-    post_failover_voice: Dict[str, int] = {}
-    voice_snapshot: Dict[str, int] = {}
-
-    def note_failovers(records: List[FailoverRecord]) -> None:
-        for record in records:
-            live = zone._by_numeric.get(record.numeric_id)
-            client_id = live.client.client_id if live else "?"
-            if record.survived:
-                injector.record(
-                    "failover", "call", client_id,
-                    f"ch{record.old_channel}->ch{record.new_channel}")
-                voice_snapshot[client_id] = len(zone.received_by(client_id))
-            else:
-                injector.record("dropped", "call", client_id,
-                                f"ch{record.old_channel} lost, no free "
-                                "surviving channel")
-
-    # -- SP crash → mid-call failover on the live data plane ----------------
-    def on_sp_crash(spec: FaultSpec, affected: List[str]) -> None:
-        sp = injector.failed_sps.get(spec.target)
-        if sp is None or not spec.target.startswith(LIVE_ZONE + "/"):
-            return
-        note_failovers(zone.absorb_superpeer_failure(sp))
-
-    injector.on_sp_crash.append(on_sp_crash)
-
-    # -- degraded SP → blacklisted by the monitor → same failover path ------
-    def on_blacklist(sp_id: str) -> None:
-        injector.record("blacklisted", "sp_quality", sp_id,
-                        "loss/jitter standard violated")
-        sp = bed.superpeers.get(sp_id)
-        if sp is None or not sp_id.startswith(LIVE_ZONE + "/"):
-            return
-        fail_superpeer(bed, sp_id, full_leave=False)
-        note_failovers(zone.absorb_superpeer_failure(sp))
-
-    monitor.on_blacklist_sp = on_blacklist
-
-    # -- mix crash → orphans re-join through surviving mixes with backoff ---
-    def on_mix_crash(spec: FaultSpec, orphans: List[str]) -> None:
-        orphaned_at = loop.now
-        for cid in orphans:
-            if cid in zone.clients:
-                continue  # live-zone clients are not re-joined directly
-            client = bed.clients[cid]
-
-            def rejoin(client=client):
-                return join_zone(client,
-                                 bed.directories[client.zone_id],
-                                 bed.mixes, rng=bed.rng)
-
-            stats = RejoinStats(client_id=cid, orphaned_at_s=orphaned_at,
-                                rejoined_at_s=None, attempts=0,
-                                backoff_s=0.0)
-            rejoins.append(stats)
-
-            def finish(task: LoopRetry, stats=stats) -> None:
-                stats.attempts = task.attempts
-                stats.backoff_s = task.backoff_s
-                if task.succeeded:
-                    stats.rejoined_at_s = task.finished_at
-                    injector.record("rejoined", "client", stats.client_id,
-                                    f"attempts={task.attempts}")
-                else:
-                    injector.record("gave_up", "client", stats.client_id,
-                                    f"attempts={task.attempts}")
-
-            LoopRetry(loop=loop, fn=rejoin, policy=cfg.rejoin_policy,
-                      rng=bed.rng,
-                      retry_on=(KeyError, RuntimeError, ValueError),
-                      on_success=finish, on_give_up=finish,
-                      start_delay_s=cfg.rejoin_policy.base_delay_s / 2,
-                      label=cid)
-
-    injector.on_mix_crash.append(on_mix_crash)
-
-    plan.compile_onto(loop, injector)
-
-    # -- the data plane: rounds as periodic events, calls as one-shots ------
-    granted: set = set()
-
-    def tick() -> None:
-        for live in zone.clients.values():
-            agent = live.agent
-            if agent.state is CallState.IN_CALL:
-                granted.add(live.client.client_id)
-                zone.say(live.client.client_id,
-                         f"v{zone.round_index}".encode())
-        zone.step()
-
-    zone_handle = loop.schedule_periodic(cfg.round_interval_s, tick,
-                                         start_delay=0.0)
-
-    pairs = [(f"live-{2 * i}", f"live-{2 * i + 1}")
-             for i in range(cfg.call_pairs)]
-    for caller, callee in pairs:
-        loop.schedule_at(cfg.call_start_s,
-                         lambda c=caller, p=callee: zone.start_call(c, p))
-
-    loop.run(until=cfg.horizon_s)
-    zone_handle.cancel()
-    injector.teardown()
-    loop.cancel_all()
-
-    for client_id, before in voice_snapshot.items():
-        post_failover_voice[client_id] = \
-            len(zone.received_by(client_id)) - before
-
+    outcome = execute(scenario_from_chaos_config(cfg),
+                      execution=cfg.execution, scope=scope)
     return ChaosReport(
-        plan_signature=plan.signature(),
-        timeline=list(injector.timeline),
-        events_processed=loop.events_processed,
-        rounds_run=zone.round_index,
-        call_legs_established=len(granted),
-        failovers=list(zone.manager.failovers),
-        rejoins=rejoins,
-        post_failover_voice=post_failover_voice,
-        blacklisted_sps=tuple(sorted(monitor.blacklisted_sps)),
+        plan_signature=outcome.plan_signature,
+        timeline=list(outcome.timeline),
+        events_processed=outcome.events_processed,
+        rounds_run=outcome.rounds_run,
+        call_legs_established=outcome.call_legs_established,
+        failovers=list(outcome.failovers),
+        rejoins=list(outcome.rejoins),
+        post_failover_voice=dict(outcome.post_failover_voice),
+        blacklisted_sps=outcome.blacklisted_sps,
     )

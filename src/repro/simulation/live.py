@@ -33,6 +33,7 @@ from repro.core.callmanager import CallState, ClientCallAgent, \
 from repro.core.channel import decode_manifest
 from repro.core.join import join_zone
 from repro.core.client import HerdClient
+from repro.core.shedding import LoadShedder
 from repro.simulation.roundsync import DEFAULT_ROUND_INTERVAL_S, \
     EXECUTIONS, WireFabric
 from repro.simulation.testbed import HerdTestbed, build_testbed
@@ -119,6 +120,13 @@ class LiveZone:
         self.external_router = None
         self.round_index = 0
         self.rng = random.Random(seed + 1)
+        #: Overload admission control (None = no shedding).  Installed
+        #: by :meth:`set_overload` for an OVERLOAD fault window; totals
+        #: survive the window in :attr:`shed_stats`.
+        self.shedder: Optional[LoadShedder] = None
+        #: Cumulative graceful-degradation accounting across windows.
+        self.shed_stats: Dict[str, int] = {
+            "windows": 0, "cells_deferred": 0, "cells_admitted": 0}
         #: Optional observability hook (see :class:`repro.obs
         #: .instrument.LiveZoneHook`): call-setup spans and round
         #: progress, installed by ``Herdscope.attach_live_zone``.
@@ -214,6 +222,36 @@ class LiveZone:
                     self.hang_up(live.client.client_id)
         return records
 
+    # -- overload & graceful degradation (§3.4.2) ------------------------------
+
+    def set_overload(self, capacity_fraction: float,
+                     sp_id: Optional[str] = None) -> LoadShedder:
+        """Enter an overload window: from the next round on, each
+        channel admits only ``capacity_fraction`` of its members'
+        payload cells per round; the rest stay queued in the clients'
+        outboxes (backpressure, not loss).  The wire image is
+        unchanged — chaff replaces the deferred payload — so an
+        adversary cannot see the overload (I6/I7)."""
+        self.shedder = LoadShedder(capacity_fraction, sp_id=sp_id)
+        self.shed_stats["windows"] += 1
+        return self.shedder
+
+    def clear_overload(self) -> None:
+        """Leave the overload window; cumulative counts remain in
+        :attr:`shed_stats`."""
+        shedder = self.shedder
+        if shedder is not None:
+            self.shed_stats["cells_deferred"] += shedder.cells_deferred
+            self.shed_stats["cells_admitted"] += shedder.cells_admitted
+        self.shedder = None
+
+    @property
+    def cells_deferred(self) -> int:
+        """Total payload cells deferred by shedding so far (including
+        any still-open overload window)."""
+        live = self.shedder.cells_deferred if self.shedder else 0
+        return self.shed_stats["cells_deferred"] + live
+
     # -- the round engine ------------------------------------------------------
 
     def _upstream(self) -> None:
@@ -222,9 +260,21 @@ class LiveZone:
 
     def _gather_channel(self, channel_id: int, sp):
         """Collect one channel's round of client emissions, in slot
-        order (payload only where a call is live on this channel)."""
+        order (payload only where a call is live on this channel).
+
+        Under an overload window (:meth:`set_overload`) payload
+        admission is capped per channel per round in strict slot
+        order; deferred cells stay queued (client backpressure) and a
+        chaff cell rides the wire in their place, so emission stays
+        constant-rate.  Both engines call this in the same sorted
+        channel / slot order, so shedding is engine-equivalent."""
         members = sp.channel_clients[channel_id]
         packets, manifests = [], []
+        shedder = self.shedder
+        budget = None
+        if shedder is not None and shedder.applies_to(sp.sp_id):
+            budget = shedder.channel_budget(len(members))
+        admitted = 0
         for client_id in members:
             live = self.clients[client_id]
             attachment = next(a for a in live.client.attachments
@@ -233,7 +283,13 @@ class LiveZone:
             if live.agent.state is CallState.IN_CALL and \
                     live.agent.active_channel == channel_id and \
                     live.outbox:
-                payload = live.outbox.popleft()
+                if budget is not None and admitted >= budget:
+                    shedder.defer()
+                else:
+                    payload = live.outbox.popleft()
+                    admitted += 1
+                    if budget is not None:
+                        shedder.admit()
             pkt, manifest = live.client.upstream_packet(attachment,
                                                         payload)
             packets.append(pkt)

@@ -15,8 +15,14 @@ matched substitutes (see DESIGN.md, "Substitutions"):
   models for the Drac comparison (Twitter/Facebook-like).
 * :mod:`repro.workload.datasets` — the three dataset presets with the
   paper's published statistics attached.
+* :mod:`repro.workload.arrivals` — seeded arrival processes feeding
+  the scenario engine's workloads (Poisson + trace replay).
 """
 
+from repro.workload.arrivals import (
+    arrival_times_from_trace,
+    poisson_arrival_times,
+)
 from repro.workload.cdr import CallRecord, CallTrace
 from repro.workload.generator import SyntheticTraceConfig, generate_trace
 from repro.workload.social import SocialGraph, degree_sequence
@@ -31,6 +37,8 @@ from repro.workload.datasets import (
 __all__ = [
     "CallRecord",
     "CallTrace",
+    "arrival_times_from_trace",
+    "poisson_arrival_times",
     "SyntheticTraceConfig",
     "generate_trace",
     "SocialGraph",

@@ -1,0 +1,56 @@
+"""Seeded call-arrival processes for the scenario engine.
+
+The scenario engine (`repro.scenario.engine`) drives its ``poisson``
+workload from :func:`poisson_arrival_times`; keeping the process here
+— beside the synthetic CDR generator — gives trace-replay workloads
+(ROADMAP item 4) the same entry point:
+:func:`arrival_times_from_trace` turns any :class:`~repro.workload
+.cdr.CallTrace` window into the identical ``List[float]`` shape.
+
+Determinism: arrivals draw from their own ``random.Random`` seeded
+with ``seed ^ ARRIVAL_SEED_XOR``, never from the loop or testbed rngs,
+so adding or removing arrivals cannot shift fault timelines or jitter
+draws elsewhere in a run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+#: Seed perturbation for the arrival stream (kept off the loop/bed
+#: rngs so arrivals cannot shift fault determinism).
+ARRIVAL_SEED_XOR = 0x9E3779B9
+
+
+def poisson_arrival_times(rate_per_s: float, start_s: float,
+                          horizon_s: float, seed: int) -> List[float]:
+    """Homogeneous Poisson arrival times in ``(start_s, horizon_s)``.
+
+    Exponential inter-arrival gaps at ``rate_per_s``, bit-for-bit
+    reproducible for equal seeds.  The first gap is drawn from
+    ``start_s`` (no arrival lands exactly at the start).
+    """
+    if rate_per_s <= 0:
+        raise ValueError("arrival rate must be positive")
+    rng = random.Random(seed ^ ARRIVAL_SEED_XOR)
+    times: List[float] = []
+    t = start_s
+    while True:
+        t += rng.expovariate(rate_per_s)
+        if t >= horizon_s:
+            return times
+        times.append(t)
+
+
+def arrival_times_from_trace(trace, t0: float, t1: float,
+                             time_scale: float = 1.0) -> List[float]:
+    """Call-start times of a :class:`~repro.workload.cdr.CallTrace`
+    window, shifted to start at 0 and scaled by ``time_scale`` —
+    the replay-ready counterpart of :func:`poisson_arrival_times`."""
+    if t1 <= t0:
+        raise ValueError("window must have positive extent")
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    return sorted((record.start - t0) * time_scale
+                  for record in trace.calls_between(t0, t1))

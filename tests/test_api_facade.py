@@ -143,9 +143,14 @@ class TestDeprecationShims:
             build_testbed(specs, seed=99)
 
     def test_chaos_config_alias_warns(self):
-        with pytest.warns(DeprecationWarning):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
             cfg = ChaosConfig(n_live_clients=8)
-        assert cfg.n_clients == 8
+        shim = [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+        assert len(shim) == 1  # exactly once, not per-field
+        assert "n_live_clients" in str(shim[0].message)
+        assert cfg.n_clients == 8  # the value maps through
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert ChaosConfig(n_clients=8).n_clients == 8
@@ -153,6 +158,34 @@ class TestDeprecationShims:
     def test_run_chaos_keyword_overrides(self):
         report = run_chaos(ChaosConfig(horizon_s=0.5), seed=5,
                            n_clients=8, n_channels=6)
+        assert report.rounds_run > 0
+
+    def test_run_chaos_routes_through_scenario_engine(self,
+                                                      monkeypatch):
+        """``run_chaos`` is now a thin adapter over the scenario
+        engine: it compiles its config to a Scenario and executes it
+        through :func:`repro.scenario.engine.execute`."""
+        import repro.scenario.engine as engine_mod
+        from repro.simulation.chaos import scenario_from_chaos_config
+
+        cfg = ChaosConfig(horizon_s=0.5, n_clients=8, n_channels=6)
+        scenario = scenario_from_chaos_config(cfg)
+        assert scenario.name == "chaos"
+        assert scenario.horizon_s == 0.5
+        assert scenario.zone.n_clients == 8
+
+        seen = {}
+        real_execute = engine_mod.execute
+
+        def spying_execute(sc, **kwargs):
+            seen["scenario"] = sc
+            seen["execution"] = kwargs.get("execution")
+            return real_execute(sc, **kwargs)
+
+        monkeypatch.setattr(engine_mod, "execute", spying_execute)
+        report = run_chaos(cfg)
+        assert seen["scenario"].signature() == scenario.signature()
+        assert seen["execution"] == "event"
         assert report.rounds_run > 0
 
 

@@ -70,6 +70,83 @@ class TestCommands:
         assert "Herd extra one-way latency" in out
 
 
+_PASSING_SCENARIO = """\
+[scenario]
+name = "cli-smoke"
+horizon_s = 2.0
+round_interval_s = 0.05
+
+[zone]
+n_clients = 8
+n_channels = 4
+n_sps = 2
+k = 3
+n_direct_clients = 2
+
+[workload]
+kind = "constant"
+call_pairs = 1
+call_start_s = 0.4
+
+[criteria]
+min_call_survival_rate = 1.0
+min_call_legs_established = 2
+"""
+
+#: Same run, but demands shedding with no overload fault declared —
+#: the criteria can never hold, so the CLI must exit nonzero.
+_FAILING_SCENARIO = _PASSING_SCENARIO.replace(
+    'name = "cli-smoke"', 'name = "cli-impossible"').replace(
+    "[criteria]", "[criteria]\nrequire_shedding = true")
+
+
+class TestScenarioCommand:
+    def test_run_passing_scenario_exits_zero(self, capsys, tmp_path):
+        path = tmp_path / "smoke.toml"
+        path.write_text(_PASSING_SCENARIO)
+        assert main(["scenario", "run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "cli-smoke" in out
+
+    def test_run_failed_criteria_exit_nonzero(self, capsys, tmp_path):
+        path = tmp_path / "impossible.toml"
+        path.write_text(_FAILING_SCENARIO)
+        assert main(["scenario", "run", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "shedding never engaged" in captured.err
+
+    def test_run_writes_report_artifact(self, tmp_path):
+        import json
+        path = tmp_path / "smoke.toml"
+        path.write_text(_PASSING_SCENARIO)
+        report_dir = tmp_path / "reports"
+        assert main(["scenario", "run", str(path),
+                     "--report-dir", str(report_dir)]) == 0
+        artifact = json.loads(
+            (report_dir / "cli-smoke.json").read_text())
+        assert artifact["passed"] is True
+        assert artifact["determinism_match"] is True
+        assert "event" in artifact["engines"]
+
+    def test_validate_rejects_bad_file(self, capsys, tmp_path):
+        path = tmp_path / "typo.toml"
+        path.write_text(_PASSING_SCENARIO.replace(
+            "horizon_s", "horizn_s"))
+        assert main(["scenario", "validate", str(path)]) == 2
+        assert "horizon_s" in capsys.readouterr().err  # did-you-mean
+
+    def test_validate_accepts_corpus(self, capsys):
+        assert main(["scenario", "validate", "scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "flash-crowd" in out
+
+    def test_list_shows_corpus(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos-failover" in out
+
+
 class TestReportCommand:
     def test_report_shapes_hold(self, capsys):
         assert main(["report", "--users", "1000"]) == 0

@@ -22,6 +22,15 @@ import json
 from hypothesis import given, settings, strategies as st
 
 from repro.api import SimConfig, Simulation
+from repro.faults.plan import FaultKind, FaultSpec
+from repro.scenario import (
+    Adversary,
+    Scenario,
+    SurvivalCriteria,
+    Workload,
+    ZoneShape,
+    run_scenario,
+)
 
 #: Pinned digest of the seed-20150817 adversary observation stream
 #: (shared by both engines).  If this changes, the wire image of the
@@ -120,6 +129,75 @@ class TestTestbedAndChaosEquivalence:
         assert event.detail.determinism_key() == \
             batch.detail.determinism_key()
         assert event.metrics == batch.metrics
+
+
+class TestScenarioEquivalence:
+    """The §10 contract: a declared scenario's determinism key — which
+    folds in the wiretap observation stream, the fault timeline, and
+    the metrics snapshot — is identical across engines, including
+    under every windowed degradation kind."""
+
+    #: All three link-degradation kinds active at overlapping windows,
+    #: watched by a passive global wiretap.
+    DEGRADATION_SCENARIO = Scenario(
+        name="equivalence-degradations",
+        description="loss + jitter + degrade windows under a wiretap",
+        seed=20150817,
+        horizon_s=3.0,
+        round_interval_s=0.05,
+        zone=ZoneShape(n_clients=12, n_channels=6, n_sps=2, k=3,
+                       n_direct_clients=2),
+        workload=Workload(kind="constant", call_pairs=1,
+                          call_start_s=0.4),
+        faults=(
+            FaultSpec(kind=FaultKind.LOSS_BURST, at_s=0.8,
+                      target="zone-live/sp-0", duration_s=1.5,
+                      loss=0.25),
+            FaultSpec(kind=FaultKind.JITTER_BURST, at_s=1.0,
+                      target="zone-live/sp-1", duration_s=1.5,
+                      jitter_ms=70.0),
+            FaultSpec(kind=FaultKind.LINK_DEGRADE, at_s=1.2,
+                      target="zone-live/sp-0", duration_s=1.0,
+                      loss=0.10, jitter_ms=30.0),
+        ),
+        adversary=Adversary(kind="wiretap"),
+        criteria=SurvivalCriteria(min_call_survival_rate=1.0,
+                                  min_call_legs_established=2),
+    )
+
+    def test_degradation_faults_equivalent_across_engines(self):
+        event = run_scenario(self.DEGRADATION_SCENARIO,
+                             execution="event")
+        batch = run_scenario(self.DEGRADATION_SCENARIO,
+                             execution="batch")
+        # The adversary's view is byte-identical, even while loss,
+        # jitter, and degradation windows churn link state.
+        obs_event = event.detail.wiretap["observations"]
+        obs_batch = batch.detail.wiretap["observations"]
+        assert obs_event == obs_batch
+        assert len(obs_event) > 0
+        # The fault timeline replays identically: same onsets, same
+        # reverts, same virtual times.
+        assert event.timeline == batch.timeline
+        actions = [entry[1] for entry in event.timeline]
+        assert actions.count("injected") == 3
+        assert actions.count("recovered") == 3
+        # The sustained loss/degrade windows on sp-0 trip the monitor's
+        # blacklist, and the live call leg fails over and survives.
+        assert "blacklisted" in actions and "failover" in actions
+        # Metrics and the whole determinism key agree.
+        assert event.metrics == batch.metrics
+        assert event.determinism_key == batch.determinism_key
+        assert event.passed and batch.passed
+        # The engines still differ where they are allowed to: the
+        # batch engine schedules O(rounds) wire events, not O(cells).
+        assert batch.detail.wiretap["wire_events_processed"] < \
+            event.detail.wiretap["wire_events_processed"]
+
+    def test_scenario_key_stable_across_replays(self):
+        first = run_scenario(self.DEGRADATION_SCENARIO)
+        second = run_scenario(self.DEGRADATION_SCENARIO)
+        assert first.determinism_key == second.determinism_key
 
 
 @settings(max_examples=8, deadline=None)

@@ -3,6 +3,7 @@
 import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.retry import (
     BackoffPolicy,
@@ -201,6 +202,31 @@ class TestLoopRetry:
         loop.run()
         assert times == [2.0]
 
+    @given(fail_n=st.integers(0, 5), seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_attempts_accounting_property(self, fail_n, seed):
+        """A function that fails ``fail_n`` times then succeeds is
+        called exactly ``fail_n + 1`` times, and the task agrees."""
+        loop = EventLoop(seed=seed)
+        calls = []
+
+        def flaky():
+            calls.append(loop.now)
+            if len(calls) <= fail_n:
+                raise RuntimeError("not yet")
+            return "ok"
+
+        task = LoopRetry(
+            loop=loop, fn=flaky,
+            policy=BackoffPolicy(base_delay_s=0.1, max_attempts=6,
+                                 jitter=0.2),
+            retry_on=(RuntimeError,))
+        loop.run()
+        assert task.succeeded
+        assert task.attempts == len(calls) == fail_n + 1
+        # Attempt times are strictly increasing virtual times.
+        assert calls == sorted(calls)
+
     def test_jitter_uses_loop_rng_by_default(self):
         def run_once():
             loop = EventLoop(seed=11)
@@ -218,3 +244,56 @@ class TestLoopRetry:
             return calls
 
         assert run_once() == run_once()  # same seed, same jitter
+
+
+class TestBackoffProperties:
+    """Hypothesis sweep of the §3.5 backoff contract: delays stay in
+    the policy's cap, and seeded jitter replays bit-for-bit."""
+
+    policies = st.builds(
+        BackoffPolicy,
+        base_delay_s=st.floats(0.01, 2.0),
+        multiplier=st.floats(1.0, 4.0),
+        max_delay_s=st.floats(2.0, 30.0),
+        jitter=st.floats(0.0, 0.9),
+        max_attempts=st.integers(1, 10))
+
+    @given(policy=policies, failures=st.integers(1, 40),
+           seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_delays_bounded_by_cap(self, policy, failures, seed):
+        delay = policy.delay_for(failures, random.Random(seed))
+        assert delay >= 0.0
+        assert delay <= policy.max_delay_s * (1.0 + policy.jitter)
+
+    @given(policy=policies, seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_equal_seeds_bit_identical_sequences(self, policy, seed):
+        def sequence():
+            rng = random.Random(seed)
+            return [policy.delay_for(n, rng) for n in range(1, 12)]
+
+        first, second = sequence(), sequence()
+        assert first == second  # float-exact, not approximate
+
+    @given(max_attempts=st.integers(1, 8),
+           seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_retry_error_counts_every_attempt(self, max_attempts,
+                                              seed):
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise KeyError("down")
+
+        with pytest.raises(RetryError) as err:
+            call_with_retries(
+                always_fails,
+                policy=BackoffPolicy(base_delay_s=0.1,
+                                     max_attempts=max_attempts,
+                                     jitter=0.3),
+                clock=VirtualClock(), rng=random.Random(seed),
+                retry_on=(KeyError,))
+        assert err.value.attempts == max_attempts == len(calls)
+        assert isinstance(err.value.last_error, KeyError)
