@@ -78,13 +78,21 @@ class SimConfig:
         Optional JSONL file receiving the full trace stream.
     trace_buffer:
         In-memory trace ring capacity (0 disables the ring).
+    profile:
+        Attach a :class:`~repro.obs.prof.profiler.PhaseProfiler` to
+        the run: per-phase wall time and call/cell counters land in
+        ``report.perf``.  Profiling reads the host clock (through the
+        sanctioned perfclock module only) but its output is a side
+        channel — metrics, traces, adversary observations, and every
+        determinism key stay byte-identical to an unprofiled run
+        (DESIGN.md §11).
     """
 
     __slots__ = ("scenario", "seed", "n_clients", "n_channels",
                  "n_sps", "k", "zone_id", "zone_specs",
                  "client_prefix", "call_pairs", "chaos",
                  "scenario_def", "trace_path", "trace_buffer",
-                 "execution", "wiretap")
+                 "execution", "wiretap", "profile")
 
     def __init__(self, *, scenario: str = "live",
                  seed: int = 20150817, n_clients: int = 12,
@@ -96,7 +104,8 @@ class SimConfig:
                  chaos=None, scenario_def=None,
                  trace_path: Optional[str] = None,
                  trace_buffer: int = 4096,
-                 execution: str = "event", wiretap: bool = False):
+                 execution: str = "event", wiretap: bool = False,
+                 profile: bool = False):
         if scenario_def is not None and scenario == "live":
             scenario = "scenario"
         if scenario == "scenario" and scenario_def is None:
@@ -126,6 +135,7 @@ class SimConfig:
         self.trace_buffer = trace_buffer
         self.execution = execution
         self.wiretap = wiretap
+        self.profile = profile
 
     def __repr__(self) -> str:
         return (f"SimConfig(scenario={self.scenario!r}, "
@@ -139,11 +149,12 @@ class RunReport:
     """What one :meth:`Simulation.run` produced."""
 
     __slots__ = ("scenario", "seed", "rounds_run", "metrics",
-                 "trace_events", "trace_path", "detail")
+                 "trace_events", "trace_path", "detail", "perf")
 
     def __init__(self, *, scenario: str, seed: int, rounds_run: int,
                  metrics: Dict[str, Any], trace_events: Tuple,
-                 trace_path: Optional[str], detail: Any):
+                 trace_path: Optional[str], detail: Any,
+                 perf: Optional[Dict[str, Any]] = None):
         self.scenario = scenario
         self.seed = seed
         self.rounds_run = rounds_run
@@ -156,6 +167,11 @@ class RunReport:
         #: Scenario-specific payload: a dict for live/testbed runs, a
         #: :class:`~repro.simulation.chaos.ChaosReport` for chaos.
         self.detail = detail
+        #: Host-time phase profile (``PhaseProfiler.report()``) when
+        #: the run was configured with ``profile=True``; ``None``
+        #: otherwise.  A side channel: never part of the metrics
+        #: snapshot, traces, or any determinism key.
+        self.perf = perf
 
     def to_prometheus(self) -> str:
         """The metrics snapshot in Prometheus exposition format."""
@@ -194,6 +210,11 @@ class Simulation:
         self.config = config or SimConfig()
         self.scope = Herdscope(trace_path=self.config.trace_path,
                                trace_buffer=self.config.trace_buffer)
+        if self.config.profile:
+            from repro.obs.prof.profiler import PhaseProfiler
+            self.profiler: Optional[PhaseProfiler] = PhaseProfiler()
+        else:
+            self.profiler = None
         self._finished = False
 
     def run(self, rounds: Optional[int] = None, *,
@@ -220,14 +241,21 @@ class Simulation:
         else:
             rounds_run, detail = self._run_chaos(until)
         self._finished = True
+        prof = self.profiler
+        if prof is not None:
+            prof.begin("metrics-flush")
         snapshot = self.scope.snapshot()
         ring = self.scope.ring
         events = tuple(ring.events) if ring is not None else ()
         self.scope.close()
+        if prof is not None:
+            prof.end()
         return RunReport(scenario=cfg.scenario, seed=cfg.seed,
                          rounds_run=rounds_run, metrics=snapshot,
                          trace_events=events,
-                         trace_path=cfg.trace_path, detail=detail)
+                         trace_path=cfg.trace_path, detail=detail,
+                         perf=prof.report() if prof is not None
+                         else None)
 
     # -- scenarios ------------------------------------------------------------
 
@@ -246,6 +274,10 @@ class Simulation:
                         zone_id=cfg.zone_id,
                         client_prefix=cfg.client_prefix,
                         execution=cfg.execution)
+        if self.profiler is not None:
+            # Before attach_wire, so the fabric (and its links) picks
+            # the profiler up on creation.
+            self.profiler.attach_zone(zone)
         fabric = zone.attach_wire() if cfg.wiretap else None
         self.scope.use_clock(lambda: float(zone.round_index))
         self.scope.attach_live_zone(zone)
@@ -343,7 +375,8 @@ class Simulation:
                             execution=cfg.execution)
         if until is not None:
             chaos_cfg = replace(chaos_cfg, horizon_s=float(until))
-        report = run_chaos(chaos_cfg, scope=self.scope)
+        report = run_chaos(chaos_cfg, scope=self.scope,
+                           profiler=self.profiler)
         return report.rounds_run, report
 
     def _run_scenario(self, until: Optional[float]) -> Tuple[int, Any]:
@@ -353,5 +386,5 @@ class Simulation:
         if until is not None and float(until) != scenario.horizon_s:
             scenario = scenario.with_horizon(float(until))
         outcome = execute(scenario, execution=cfg.execution,
-                          scope=self.scope)
+                          scope=self.scope, profiler=self.profiler)
         return outcome.rounds_run, outcome

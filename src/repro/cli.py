@@ -16,6 +16,9 @@ Gives a downstream user one-command access to the headline results:
   adversity scenario corpus (``scenarios/*.toml``); ``scenario run``
   exits nonzero when survival criteria, invariants, or cross-engine
   determinism fail, so CI can gate on it.
+* ``bench``       — run/compare/list performance benchmarks through
+  the unified herdprof runner; ``bench compare`` exits nonzero on a
+  regression beyond the tolerance band, so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -160,6 +163,11 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return run(args)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.prof.cli import run
+    return run(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import run_evaluation
     report = run_evaluation(n_users=args.users, seed=args.seed)
@@ -249,6 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run/list/validate composed-adversity scenarios")
     add_scenario_arguments(p_scenario)
 
+    from repro.obs.prof.cli import add_bench_arguments
+    p_bench = sub.add_parser(
+        "bench",
+        help="run/compare/list performance benchmarks (herdprof)")
+    add_bench_arguments(p_bench)
+
     p_all = sub.add_parser("experiments", help="run the evaluation")
     p_all.add_argument("--users", type=int, default=5000)
     p_all.add_argument("--days", type=int, default=1)
@@ -271,6 +285,7 @@ _HANDLERS = {
     "experiments": _cmd_experiments,
     "lint": _cmd_lint,
     "scenario": _cmd_scenario,
+    "bench": _cmd_bench,
 }
 
 

@@ -36,18 +36,40 @@ _WALL_CLOCK_CALLS = {
     "datetime.datetime.today", "datetime.date.today",
 }
 
+#: The HL001 allowlist: path suffixes (as lowercased segment tuples)
+#: that may read the host clock.  Exactly one file is sanctioned —
+#: the herdprof perfclock module, which exists so that *profiling*
+#: wall-time reads have a single auditable funnel (DESIGN.md §11).
+#: Everything else in the virtual-time scope, including the rest of
+#: ``obs/prof/``, still fails the gate.
+WALL_CLOCK_ALLOWED_FILES: Tuple[Tuple[str, ...], ...] = (
+    ("obs", "prof", "perfclock.py"),
+)
+
 
 @register
 class WallClockRule(Rule):
     """HL001: the simulation core must read time from the virtual
-    :class:`~repro.netsim.engine.EventLoop` clock, never the host."""
+    :class:`~repro.netsim.engine.EventLoop` clock, never the host —
+    except the sanctioned profiling clock module
+    (:data:`WALL_CLOCK_ALLOWED_FILES`)."""
 
     rule_id = "HL001"
     title = "wall-clock read in virtual-time code"
     rationale = ("Determinism contract: replayable runs require every "
                  "timestamp to come from EventLoop.now, not the host "
-                 "clock.")
+                 "clock.  Profiling is the one sanctioned exception, "
+                 "funneled through obs/prof/perfclock.py.")
     scope = _VIRTUAL_TIME_SCOPE
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not super().applies_to(ctx):
+            return False
+        segments = ctx.segments
+        for suffix in WALL_CLOCK_ALLOWED_FILES:
+            if segments[-len(suffix):] == suffix:
+                return False
+        return True
 
     def check_file(self, ctx: FileContext) -> Iterable[Finding]:
         for node in ast.walk(ctx.tree):

@@ -17,8 +17,13 @@ from typing import Dict, Mapping
 
 
 def _format_value(value: float) -> str:
-    if isinstance(value, float) and math.isinf(value):
-        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            # Prometheus exposition spells it exactly "NaN";
+            # int(value) on a NaN would raise ValueError.
+            return "NaN"
     if float(value) == int(value):
         return str(int(value))
     return repr(float(value))

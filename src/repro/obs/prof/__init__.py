@@ -1,0 +1,29 @@
+"""herdprof: phase profiling, deep profiles, and the bench plane.
+
+Layout mirrors the herdscope split one level up:
+
+* :mod:`~repro.obs.prof.perfclock`  — the one sanctioned wall-clock
+  module (herdlint HL001 allowlists exactly this file);
+* :mod:`~repro.obs.prof.profiler`   — :class:`PhaseProfiler`, the
+  per-phase wall-time/call/cell accumulator attached via the
+  duck-typed ``prof`` hook protocol;
+* :mod:`~repro.obs.prof.deepprof`   — opt-in cProfile capture with
+  flamegraph (collapsed-stack) export;
+* :mod:`~repro.obs.prof.provenance` — schema/commit/machine stamps
+  for bench entries;
+* :mod:`~repro.obs.prof.bench`      — the unified bench runner and
+  regression compare behind ``repro bench`` and CI perf-smoke.
+"""
+
+from repro.obs.prof.deepprof import DeepProfile
+from repro.obs.prof.profiler import PHASES, PhaseProfiler, PhaseStats
+from repro.obs.prof.provenance import BENCH_SCHEMA_VERSION, provenance
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DeepProfile",
+    "PHASES",
+    "PhaseProfiler",
+    "PhaseStats",
+    "provenance",
+]

@@ -1,0 +1,299 @@
+"""The unified bench runner behind ``repro bench`` and CI perf-smoke.
+
+The scaling workload used to live only inside
+``benchmarks/test_bench_scaling.py``, timed with a bare
+``time.perf_counter()`` and written to an ad-hoc ``BENCH_scaling.json``
+with no commit or machine provenance — a number nobody could compare
+across runs.  This module owns the core loop so the pytest bench, the
+``repro bench`` CLI, and CI all execute the *same* code:
+
+* :func:`run_backbone` — the constant-rate zone-backbone loop
+  (SP↔mix trunks under :class:`~repro.simulation.roundsync.WireFabric`),
+  optionally with a :class:`~repro.obs.prof.profiler.PhaseProfiler`
+  attached;
+* :func:`run_scaling_bench` — the full sweep: both engines over a
+  client-count ladder, per-phase breakdowns from separate profiled
+  runs at the headline count (so profiling overhead never pollutes the
+  timed numbers), an attached-vs-detached overhead measurement, and a
+  schema-versioned entry stamped with provenance;
+* :func:`compare_entries` — the regression gate.  When base and head
+  carry the same machine fingerprint, absolute cells/sec must hold
+  within the tolerance band; across different machines (CI runner vs
+  the committed baseline) only the machine-independent batch/event
+  speedup ratios are gated.  Nonzero findings → nonzero exit.
+
+Entries append to a JSONL *trajectory* so the perf history of the
+engines survives across commits (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.prof.perfclock import perf_now, process_now
+from repro.obs.prof.profiler import PhaseProfiler
+from repro.obs.prof.provenance import provenance
+
+#: One constant-rate cell (160 B ≈ a 20 ms G.711 frame).
+CELL = b"\x00" * 160
+DEFAULT_CLIENT_COUNTS = (100, 250, 500)
+DEFAULT_ROUNDS = 25
+CLIENTS_PER_SP = 50
+#: Default tolerance band for :func:`compare_entries` — a ≥20%
+#: slowdown always exceeds it.
+DEFAULT_TOLERANCE = 0.15
+
+WORKLOAD = ("constant-rate zone backbone (SP-mix trunks), "
+            "{rounds} rounds, {per_sp} clients/SP")
+
+
+class TallyObserver:
+    """A global passive adversary that aggregates instead of storing:
+    one update per batch when the link offers vectors, one per cell on
+    the per-packet path."""
+
+    def __init__(self):
+        self.cells = 0
+        self.bytes = 0
+
+    def record(self, time, packet, src, dst):
+        self.cells += 1
+        self.bytes += packet.size
+
+    def record_batch(self, time, batch, src, dst):
+        self.cells += len(batch)
+        self.bytes += batch.total_bytes()
+
+
+def run_backbone(execution: str, n_clients: int,
+                 rounds: int = DEFAULT_ROUNDS, *,
+                 profiler: Optional[PhaseProfiler] = None,
+                 clients_per_sp: int = CLIENTS_PER_SP
+                 ) -> Dict[str, Any]:
+    """Drive the zone backbone for ``rounds``; returns measurements.
+
+    The workload (DESIGN.md §9 / benchmarks): every round, each SP
+    trunk carries one cell per attached client in each direction —
+    ``append_repeated`` batches on the batch engine, per-cell packets
+    and heap events on the event engine.
+    """
+    from repro.simulation.roundsync import WireFabric
+
+    fabric = WireFabric(seed=1, execution=execution,
+                        observer=TallyObserver())
+    if profiler is not None:
+        profiler.attach_fabric(fabric)
+    n_sps = max(1, n_clients // clients_per_sp)
+    members = [n_clients // n_sps + (1 if s < n_clients % n_sps else 0)
+               for s in range(n_sps)]
+    started = perf_now()
+    cpu_started = process_now()
+    for r in range(rounds):
+        if profiler is not None:
+            profiler.round_started(r)
+        for s in range(n_sps):
+            fabric.emit_repeated(f"sp-{s}", "mix", CELL, members[s],
+                                 kind="up")
+        for s in range(n_sps):
+            fabric.emit_repeated("mix", f"sp-{s}", CELL, members[s],
+                                 kind="down")
+        fabric.flush_round(r)
+        if profiler is not None:
+            profiler.round_finished(r)
+    elapsed = perf_now() - started
+    cpu_elapsed = process_now() - cpu_started
+    return {
+        "clients": n_clients,
+        "rounds": rounds,
+        "cells": fabric.cells_carried,
+        "events": fabric.events_processed,
+        "elapsed_s": elapsed,
+        "cpu_s": cpu_elapsed,
+        "cells_per_sec": fabric.cells_carried / elapsed
+        if elapsed else 0.0,
+        "events_per_sec": fabric.events_processed / elapsed
+        if elapsed else 0.0,
+        "observed_cells": fabric.observer.cells,
+    }
+
+
+def run_scaling_bench(
+        client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+        rounds: int = DEFAULT_ROUNDS, *,
+        timestamp_utc: Optional[str] = None,
+        with_phases: bool = True) -> Dict[str, Any]:
+    """Run the full engine-scaling sweep and build a schema-versioned
+    bench entry.
+
+    The timed sweep runs unprofiled.  When ``with_phases`` is set, one
+    additional *profiled* run per engine at the largest client count
+    supplies the per-phase breakdown, and the ratio between the
+    profiled and unprofiled batch runs is recorded as the attached
+    profiler overhead.
+    """
+    results: Dict[str, List[Dict[str, Any]]] = {"event": [],
+                                                "batch": []}
+    for n in client_counts:
+        for engine in ("event", "batch"):
+            results[engine].append(run_backbone(engine, n, rounds))
+
+    speedups: Dict[str, float] = {}
+    for ev, ba in zip(results["event"], results["batch"]):
+        speedups[str(ev["clients"])] = (
+            ba["cells_per_sec"] / ev["cells_per_sec"]
+            if ev["cells_per_sec"] else 0.0)
+
+    entry: Dict[str, Any] = {
+        "provenance": provenance(timestamp_utc),
+        "workload": WORKLOAD.format(rounds=rounds,
+                                    per_sp=CLIENTS_PER_SP),
+        "client_counts": list(client_counts),
+        "rounds": rounds,
+        "engines": results,
+        "speedup_cells_per_sec": speedups,
+    }
+
+    if with_phases and client_counts:
+        headline = max(client_counts)
+        phases: Dict[str, Any] = {}
+        profiled_batch = None
+        for engine in ("event", "batch"):
+            prof = PhaseProfiler()
+            run = run_backbone(engine, headline, rounds,
+                               profiler=prof)
+            phases[engine] = prof.report()
+            if engine == "batch":
+                profiled_batch = run
+        entry["phases"] = phases
+
+        detached = next(r for r in results["batch"]
+                        if r["clients"] == headline)
+        overhead_pct = 0.0
+        if profiled_batch and profiled_batch["cells_per_sec"]:
+            overhead_pct = 100.0 * max(
+                0.0, detached["cells_per_sec"]
+                / profiled_batch["cells_per_sec"] - 1.0)
+        entry["profiler_overhead"] = {
+            "clients": headline,
+            "engine": "batch",
+            "detached_cells_per_sec": detached["cells_per_sec"],
+            "profiled_cells_per_sec":
+                profiled_batch["cells_per_sec"]
+                if profiled_batch else 0.0,
+            "overhead_pct": overhead_pct,
+        }
+    return entry
+
+
+# -- comparison ----------------------------------------------------------------
+
+
+def _schema_of(entry: Dict[str, Any]) -> int:
+    return int(entry.get("provenance", {}).get("schema", 0))
+
+
+def _fingerprint_of(entry: Dict[str, Any]) -> Optional[str]:
+    return entry.get("provenance", {}).get("machine_fingerprint")
+
+
+def _throughputs(entry: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
+    """engine → {clients: cells_per_sec} for any schema version."""
+    out: Dict[str, Dict[str, float]] = {}
+    for engine, runs in entry.get("engines", {}).items():
+        out[engine] = {str(r["clients"]): r["cells_per_sec"]
+                       for r in runs}
+    return out
+
+
+def compare_entries(base: Dict[str, Any], head: Dict[str, Any],
+                    tolerance: float = DEFAULT_TOLERANCE
+                    ) -> List[str]:
+    """Regression findings of ``head`` against ``base`` (empty = ok).
+
+    Two gates, picked by machine fingerprint:
+
+    * same fingerprint (or re-run on one machine): absolute cells/sec
+      per engine per client count must not drop more than
+      ``tolerance``;
+    * different/unknown fingerprint: only the batch/event *speedup
+      ratio* is gated — it is a property of the engines, not the host.
+    """
+    findings: List[str] = []
+    floor = 1.0 - tolerance
+
+    base_fp, head_fp = _fingerprint_of(base), _fingerprint_of(head)
+    same_machine = (base_fp is not None and base_fp == head_fp)
+
+    base_speed = base.get("speedup_cells_per_sec", {})
+    head_speed = head.get("speedup_cells_per_sec", {})
+    for clients in sorted(set(base_speed) & set(head_speed),
+                          key=lambda c: int(c)):
+        b, h = base_speed[clients], head_speed[clients]
+        if b > 0 and h < b * floor:
+            findings.append(
+                f"speedup ratio at {clients} clients regressed: "
+                f"{b:.2f}x -> {h:.2f}x "
+                f"(floor {b * floor:.2f}x at tolerance "
+                f"{tolerance:.0%})")
+
+    if same_machine:
+        base_tp, head_tp = _throughputs(base), _throughputs(head)
+        for engine in sorted(set(base_tp) & set(head_tp)):
+            for clients in sorted(
+                    set(base_tp[engine]) & set(head_tp[engine]),
+                    key=lambda c: int(c)):
+                b = base_tp[engine][clients]
+                h = head_tp[engine][clients]
+                if b > 0 and h < b * floor:
+                    findings.append(
+                        f"{engine} engine at {clients} clients "
+                        f"regressed: {b:,.0f} -> {h:,.0f} cells/sec "
+                        f"(floor {b * floor:,.0f} at tolerance "
+                        f"{tolerance:.0%})")
+    return findings
+
+
+def describe_comparison(base: Dict[str, Any],
+                        head: Dict[str, Any]) -> str:
+    """One line of context printed above compare results."""
+    base_fp, head_fp = _fingerprint_of(base), _fingerprint_of(head)
+    mode = ("absolute cells/sec + speedup ratios "
+            "(same machine fingerprint)"
+            if base_fp is not None and base_fp == head_fp
+            else "speedup ratios only (machine fingerprints differ "
+                 "or are missing)")
+    return (f"base schema {_schema_of(base)} "
+            f"(commit {base.get('provenance', {}).get('commit', 'unknown')[:12]}) vs "
+            f"head schema {_schema_of(head)} "
+            f"(commit {head.get('provenance', {}).get('commit', 'unknown')[:12]}); "
+            f"gate: {mode}")
+
+
+# -- trajectory ----------------------------------------------------------------
+
+
+def append_trajectory(entry: Dict[str, Any], path: str) -> None:
+    """Append one bench entry to the JSONL trajectory history."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def read_trajectory(path: str) -> List[Dict[str, Any]]:
+    p = Path(path)
+    if not p.exists():
+        return []
+    entries = []
+    for line in p.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            entries.append(json.loads(line))
+    return entries
+
+
+def load_entry(path: str) -> Dict[str, Any]:
+    """Read one bench entry (a plain JSON object, any schema)."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,157 @@
+"""Deep-profile capture: cProfile wrapping + flamegraph export.
+
+The phase profiler says *which phase* is hot; this module says *which
+functions*.  :class:`DeepProfile` wraps one callable's execution in
+:mod:`cProfile` and exposes two views:
+
+* :meth:`DeepProfile.self_time_table` — the top-N functions by
+  self-time (tottime), the direct answer to "what do we vectorize
+  first";
+* :meth:`DeepProfile.collapsed_stacks` — collapsed-stack text in the
+  format flamegraph tools consume (``frame;frame;frame count`` per
+  line, counts in integer microseconds).
+
+cProfile records a *call graph* (per-edge cumulative times), not raw
+stack samples, so the collapsed stacks are reconstructed the way
+flameprof does it: walk the graph depth-first from the roots,
+attribute each function's self-time to the current path
+proportionally to how much of its cumulative time arrived via that
+path, and emit one line per path with nonzero attributed time.  For
+the dominant paths of a profile this matches sampled flamegraphs
+closely; recursive cycles are cut at first re-entry.
+
+Everything here is stdlib-only and reads the host clock only inside
+cProfile itself; like the phase profiler, its output is a side channel
+that never touches metrics, traces, or determinism keys.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: A pstats function key: (filename, lineno, funcname).
+FuncKey = Tuple[str, int, str]
+
+#: Collapsed-stack depth cap — deeper paths are truncated, their time
+#: attributed to the frame at the cap.
+MAX_STACK_DEPTH = 64
+
+
+def _frame_label(func: FuncKey) -> str:
+    filename, lineno, funcname = func
+    if filename == "~":  # builtins
+        return funcname.strip("<>")
+    return f"{Path(filename).name}:{funcname}"
+
+
+class DeepProfile:
+    """One captured cProfile run."""
+
+    def __init__(self, stats: pstats.Stats):
+        self.stats = stats
+        #: func -> (call_count, primitive_calls, tottime, cumtime,
+        #:          callers) — pstats' raw table.
+        self._table: Dict[FuncKey, tuple] = stats.stats
+
+    @classmethod
+    def capture(cls, fn: Callable[..., Any], *args,
+                **kwargs) -> Tuple[Any, "DeepProfile"]:
+        """Run ``fn(*args, **kwargs)`` under cProfile; returns
+        ``(fn's result, DeepProfile)``."""
+        profile = cProfile.Profile()
+        result = profile.runcall(fn, *args, **kwargs)
+        return result, cls(pstats.Stats(profile))
+
+    # -- self-time table -------------------------------------------------------
+
+    def self_time_table(self, limit: int = 20) -> List[Dict[str, Any]]:
+        """Top ``limit`` functions by self-time, as rows of
+        ``{function, self_s, cum_s, calls}``."""
+        rows = []
+        for func, (cc, nc, tt, ct, _callers) in self._table.items():
+            rows.append({"function": _frame_label(func),
+                         "self_s": tt, "cum_s": ct, "calls": nc})
+        rows.sort(key=lambda r: (-r["self_s"], r["function"]))
+        return rows[:limit]
+
+    def render_self_time(self, limit: int = 20) -> str:
+        lines = [f"{'self_s':>10s} {'cum_s':>10s} {'calls':>10s}  "
+                 f"function"]
+        for row in self.self_time_table(limit):
+            lines.append(f"{row['self_s']:10.4f} {row['cum_s']:10.4f} "
+                         f"{row['calls']:10d}  {row['function']}")
+        return "\n".join(lines) + "\n"
+
+    # -- collapsed stacks ------------------------------------------------------
+
+    def collapsed_stacks(self) -> str:
+        """Flamegraph-compatible collapsed-stack lines (µs counts)."""
+        children: Dict[FuncKey, List[Tuple[FuncKey, float]]] = {}
+        roots: List[Tuple[FuncKey, float]] = []
+        for func, (cc, nc, tt, ct, callers) in self._table.items():
+            if not callers:
+                roots.append((func, ct))
+            for parent, edge in callers.items():
+                # Per-edge cumulative time of `func` when called from
+                # `parent` (pstats stores (cc, nc, tt, ct) per edge).
+                children.setdefault(parent, []).append((func, edge[3]))
+
+        lines: List[str] = []
+
+        def emit(path: str, micros: float) -> None:
+            count = int(round(micros))
+            if count > 0:
+                lines.append(f"{path} {count}")
+
+        def walk(func: FuncKey, path: str, budget: float,
+                 on_path: frozenset, depth: int) -> None:
+            cc, nc, tt, ct, _callers = self._table[func]
+            frac = (budget / ct) if ct > 0 else 0.0
+            emit(path, tt * frac * 1e6)
+            if depth >= MAX_STACK_DEPTH:
+                # Attribute the whole remaining subtree to the cap.
+                kid_time = sum(edge for _k, edge
+                               in children.get(func, ()))
+                emit(path, kid_time * frac * 1e6)
+                return
+            for kid, edge_ct in sorted(
+                    children.get(func, ()),
+                    key=lambda e: _frame_label(e[0])):
+                if kid in on_path:
+                    continue  # cut recursion cycles
+                walk(kid, f"{path};{_frame_label(kid)}",
+                     edge_ct * frac, on_path | {kid}, depth + 1)
+
+        for root, ct in sorted(roots,
+                               key=lambda r: _frame_label(r[0])):
+            walk(root, _frame_label(root), ct, frozenset([root]), 1)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_flamegraph(self, path: str) -> None:
+        """Write the collapsed-stack text to ``path`` (feed it to any
+        flamegraph renderer, e.g. ``flamegraph.pl`` or speedscope)."""
+        Path(path).write_text(self.collapsed_stacks(),
+                              encoding="utf-8")
+
+    def total_time_s(self) -> float:
+        """Total self-time across every profiled function."""
+        return sum(entry[2] for entry in self._table.values())
+
+
+def capture(fn: Callable[..., Any], *args,
+            **kwargs) -> Tuple[Any, DeepProfile]:
+    """Module-level convenience for :meth:`DeepProfile.capture`."""
+    return DeepProfile.capture(fn, *args, **kwargs)
+
+
+def write_flamegraph(profile: DeepProfile, path: str,
+                     self_time_path: Optional[str] = None,
+                     limit: int = 30) -> None:
+    """Write collapsed stacks (and optionally a self-time table)."""
+    profile.write_flamegraph(path)
+    if self_time_path is not None:
+        Path(self_time_path).write_text(
+            profile.render_self_time(limit), encoding="utf-8")

@@ -1,0 +1,49 @@
+"""The one sanctioned wall-clock module (herdlint HL001 exemption).
+
+Everything in the simulation tree is forbidden from reading the host
+clock — determinism requires every *simulated* timestamp to come from
+the virtual :class:`~repro.netsim.engine.EventLoop` clock, and
+herdlint's HL001 gate enforces that mechanically.  Profiling is the
+deliberate exception: measuring how long the Python actually takes is
+a statement about the host, not the simulation, so it *must* read host
+time.  Rather than scattering suppression comments, every wall-clock
+read in the repository funnels through this module; the HL001
+allowlist (``repro.lint.rules.WALL_CLOCK_ALLOWED_FILES``) names
+exactly this file, and a meta-test pins that a stray ``time.time()``
+anywhere else still fails the gate.
+
+The contract that keeps profiling determinism-safe:
+
+* values returned here are only ever stored in profiler/bench output
+  (``RunReport.perf``, ``BENCH_*.json``), never in metrics snapshots,
+  traces, adversary observations, or anything folded into a
+  ``determinism_key``;
+* seeded code never branches on a value read here — profiling changes
+  how long a run takes, never what it computes.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+
+
+def perf_now() -> float:
+    """Monotonic high-resolution host time in seconds (the profiling
+    clock: differences are meaningful, absolute values are not)."""
+    return time.perf_counter()
+
+
+def process_now() -> float:
+    """CPU time of the current process in seconds (excludes time the
+    OS scheduled other processes — the bench runner records both)."""
+    return time.process_time()
+
+
+def utc_timestamp() -> str:
+    """The current UTC wall time as an ISO-8601 string.
+
+    Called only from CLI/harness layers to stamp bench provenance;
+    seeded simulation code must never see (or store) this value.
+    """
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")

@@ -124,11 +124,15 @@ def _sp_scope_of(spec: FaultSpec) -> Optional[str]:
 
 
 def execute(scenario: Scenario, *, execution: str = "event",
-            scope=None) -> ScenarioOutcome:
+            scope=None, profiler=None) -> ScenarioOutcome:
     """Run one scenario end to end on the given execution engine.
 
     ``scope`` is an optional :class:`repro.obs.instrument.Herdscope`
     wired into the loop, zone, and injector (metrics + traces).
+    ``profiler`` is an optional :class:`repro.obs.prof.profiler
+    .PhaseProfiler` attached to the loop and zone; its output is a
+    host-time side channel that never feeds the outcome (so the
+    determinism key is byte-identical with or without it).
     """
     if execution not in ("event", "batch"):
         raise ValueError("execution must be 'event' or 'batch', "
@@ -155,6 +159,9 @@ def execute(scenario: Scenario, *, execution: str = "event",
         scope.attach_loop(loop)
         scope.attach_live_zone(zone)
         scope.attach_injector(injector)
+    if profiler is not None:
+        profiler.attach_loop(loop)
+        profiler.attach_zone(zone)
 
     rejoins: List[RejoinStats] = []
     post_failover_voice: Dict[str, int] = {}

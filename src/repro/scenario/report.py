@@ -134,7 +134,8 @@ class ScenarioReport(RunReport):
                          rounds_run=base.rounds_run,
                          metrics=base.metrics,
                          trace_events=base.trace_events,
-                         trace_path=base.trace_path, detail=outcome)
+                         trace_path=base.trace_path, detail=outcome,
+                         perf=base.perf)
         self.name = scenario_def.name
         self.execution = execution
         self.scenario_signature = scenario_def.signature()
@@ -172,8 +173,13 @@ class ScenarioReport(RunReport):
             not self.invariant_violations
 
     def to_artifact_dict(self) -> Dict[str, Any]:
-        """The JSON artifact the CI corpus job uploads per run."""
-        return {
+        """The JSON artifact the CI corpus job uploads per run.
+
+        The optional ``perf`` section (present under ``--profile``) is
+        host-time data: it sits *beside* the determinism surface —
+        ``determinism_key`` is computed before and without it, so two
+        artifacts from the same seed differ only in that section."""
+        artifact = {
             "name": self.name,
             "execution": self.execution,
             "seed": self.seed,
@@ -187,6 +193,9 @@ class ScenarioReport(RunReport):
             "passed": self.passed,
             "timeline": self.timeline,
         }
+        if self.perf is not None:
+            artifact["perf"] = self.perf
+        return artifact
 
     def __repr__(self) -> str:
         verdict = "passed" if self.passed else \
@@ -202,14 +211,20 @@ class ScenarioReport(RunReport):
 
 def run_scenario(scenario: Scenario, *, execution: str = "event",
                  trace_path: Optional[str] = None,
-                 trace_buffer: int = 0) -> ScenarioReport:
-    """Run one scenario through the :class:`Simulation` facade."""
+                 trace_buffer: int = 0,
+                 profile: bool = False) -> ScenarioReport:
+    """Run one scenario through the :class:`Simulation` facade.
+
+    ``profile=True`` attaches a phase profiler; the per-phase
+    breakdown lands in ``report.perf`` (and the CLI artifact's
+    ``perf`` section) without changing the determinism key."""
     sim = Simulation(SimConfig(scenario="scenario",
                                scenario_def=scenario,
                                seed=scenario.seed,
                                execution=execution,
                                trace_path=trace_path,
-                               trace_buffer=trace_buffer))
+                               trace_buffer=trace_buffer,
+                               profile=profile))
     base = sim.run(until=scenario.horizon_s)
     return ScenarioReport(scenario_def=scenario, execution=execution,
                           base=base)

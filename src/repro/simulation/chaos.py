@@ -194,14 +194,16 @@ def run_chaos(config: Optional[ChaosConfig] = None, *,
               seed: Optional[int] = None,
               n_clients: Optional[int] = None,
               n_channels: Optional[int] = None,
-              scope=None) -> ChaosReport:
+              scope=None, profiler=None) -> ChaosReport:
     """Run one chaos scenario end to end.
 
     The keyword overrides (``seed``, ``n_clients``, ``n_channels``)
     are conveniences over ``config`` for the common knobs; ``scope``
     is an optional :class:`repro.obs.instrument.Herdscope` that gets
     wired into the loop, injector, and live zone so the run produces
-    metrics and traces.
+    metrics and traces; ``profiler`` an optional
+    :class:`repro.obs.prof.profiler.PhaseProfiler` forwarded to the
+    engine (host-time side channel; the determinism key is unchanged).
 
     Since the scenario engine landed this is a thin compatibility
     shim: the config compiles to a :class:`Scenario`
@@ -223,7 +225,8 @@ def run_chaos(config: Optional[ChaosConfig] = None, *,
     if overrides:
         cfg = replace(cfg, **overrides)
     outcome = execute(scenario_from_chaos_config(cfg),
-                      execution=cfg.execution, scope=scope)
+                      execution=cfg.execution, scope=scope,
+                      profiler=profiler)
     return ChaosReport(
         plan_signature=outcome.plan_signature,
         timeline=list(outcome.timeline),

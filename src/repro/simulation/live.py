@@ -131,6 +131,11 @@ class LiveZone:
         #: .instrument.LiveZoneHook`): call-setup spans and round
         #: progress, installed by ``Herdscope.attach_live_zone``.
         self.obs = None
+        #: Optional phase-profiler hook (duck-typed, like ``obs``);
+        #: installed by :meth:`repro.obs.prof.profiler.PhaseProfiler
+        #: .attach_zone`.  Buckets the round engine into the ``chaff``
+        #: / ``mix-forward`` / ``deliver`` phases (DESIGN.md §11).
+        self.prof = None
         for i in range(n_clients):
             self._add_client(f"{client_prefix}-{i}", k)
 
@@ -324,10 +329,17 @@ class LiveZone:
                        kind="xor")
 
     def _upstream_channel(self, channel_id: int, sp) -> None:
+        prof = self.prof
+        if prof is not None:
+            prof.begin("chaff")
         members, packets, manifests = self._gather_channel(channel_id,
                                                            sp)
+        if prof is not None:
+            prof.end(cells=len(packets))
         if not packets:
             return
+        if prof is not None:
+            prof.begin("mix-forward")
         up = sp.combine_upstream(channel_id, self.round_index,
                                  packets, manifests)
         self._emit_upstream(sp, members, packets, up)
@@ -336,6 +348,8 @@ class LiveZone:
             channel_id, up.xor_packet, entries)
         if active is not None and payload:
             self._route_voice(active, payload)
+        if prof is not None:
+            prof.end(cells=len(packets))
 
     def _route_voice(self, from_numeric: int, cell: bytes) -> None:
         """Bridge a recovered voice cell to the peer's call (the
@@ -368,22 +382,30 @@ class LiveZone:
         """Broadcast one downstream round to every channel member
         (shared by both engines, so the wire image and client-side
         processing are identical by construction)."""
+        prof = self.prof
+        if prof is not None:
+            prof.begin("deliver")
+        cells = 0
         for channel_id, packet in round_packets.items():
             sp = self._sp_of_channel[channel_id]
             if self.wire is not None:
                 self.wire.emit(self.mix.mix_id, sp.sp_id, packet,
                                kind="down")
+            cells += 1
             for client_id, pkt in sp.broadcast_downstream(
                     channel_id, packet):
                 if self.wire is not None:
                     self.wire.emit(sp.sp_id, client_id, pkt,
                                    kind="bcast")
+                cells += 1
                 live = self.clients[client_id]
                 evt = live.agent.process_downstream(channel_id,
                                                     self.round_index,
                                                     pkt)
                 if self.obs is not None and evt is not None:
                     self.obs.client_event(client_id, evt)
+        if prof is not None:
+            prof.end(cells=cells)
 
     def _downstream(self) -> None:
         self._deliver_downstream(
@@ -402,13 +424,19 @@ class LiveZone:
         channels in sorted order — the same interleaving of rng draws,
         GRANT queueing, and voice routing as per-channel calls.
         """
+        prof = self.prof
         gathered = {}
+        if prof is not None:
+            prof.begin("chaff")
         for channel_id, sp in sorted(self._sp_of_channel.items()):
             members, packets, manifests = self._gather_channel(
                 channel_id, sp)
             if packets:
                 gathered[channel_id] = (sp, members, packets,
                                         manifests)
+        if prof is not None:
+            prof.end(cells=sum(len(g[2]) for g in gathered.values()))
+            prof.begin("mix-forward")
         per_sp: Dict[object, Dict[int, tuple]] = {}
         for channel_id, (sp, _, packets,
                          manifests) in gathered.items():
@@ -428,10 +456,14 @@ class LiveZone:
         round_packets = self.manager.process_round(
             self.round_index, upstream, route=self._route_voice,
             pre_downstream=self._ring_pending_callees)
+        if prof is not None:
+            prof.end(cells=sum(len(g[2]) for g in gathered.values()))
         self._deliver_downstream(round_packets)
 
     def step(self) -> None:
         """One codec-frame round: upstream, control, downstream."""
+        if self.prof is not None:
+            self.prof.round_started(self.round_index)
         if self.execution == "batch":
             self._step_batch()
         else:
@@ -442,6 +474,8 @@ class LiveZone:
             self.wire.flush_round(self.round_index)
         if self.obs is not None:
             self.obs.round_finished(self.round_index)
+        if self.prof is not None:
+            self.prof.round_finished(self.round_index)
         self.round_index += 1
 
     def run(self, rounds: int) -> None:
@@ -471,6 +505,8 @@ class LiveZone:
         self.wire = WireFabric(seed=self.seed, interval=interval,
                                execution=self.execution,
                                observer=observer)
+        if self.prof is not None:
+            self.wire.set_profiler(self.prof)
         return self.wire
 
     # -- introspection ------------------------------------------------------------

@@ -101,6 +101,22 @@ class WireFabric:
                             List[Tuple[bytes, str, int]]] = {}
         self.rounds_flushed = 0
         self.cells_carried = 0
+        #: Optional phase-profiler hook (duck-typed); install via
+        #: :meth:`set_profiler` so the loop, scheduler, and every
+        #: link — current and future — share one profiler.
+        self.prof = None
+
+    def set_profiler(self, prof) -> None:
+        """Attach (or with ``None``, detach) a
+        :class:`~repro.obs.prof.profiler.PhaseProfiler` across the
+        whole fabric: the fabric itself (``deliver``), the loop and
+        scheduler (``schedule``), and every link's observer fan-out
+        (``adversary-observe``), including links created later."""
+        self.prof = prof
+        self.loop.prof = prof
+        self.scheduler.prof = prof
+        for link in self._links.values():
+            link.prof = prof
 
     # -- lazy topology ---------------------------------------------------------
 
@@ -126,6 +142,8 @@ class WireFabric:
             found = Link(self.loop, self.node(key[0]),
                          self.node(key[1]))
             found.add_observer(self.observer)
+            if self.prof is not None:
+                found.prof = self.prof
             self._links[key] = found
         return found
 
@@ -165,6 +183,10 @@ class WireFabric:
         if self.execution == "batch":
             self.scheduler.run_round(round_index)
         else:
+            prof = self.prof
+            if prof is not None:
+                prof.begin("deliver")
+            before = self.cells_carried
             t = self.scheduler.time_of(round_index)
             loop = self.loop
             for (src, dst), runs in self._pending.items():
@@ -180,10 +202,16 @@ class WireFabric:
             self._pending.clear()
             loop.run(until=t)
             self.rounds_flushed += 1
+            if prof is not None:
+                prof.end(cells=self.cells_carried - before)
 
     def _transmit_queued(self, round_index: int) -> None:
         """Batch-engine round handler: one CellBatch per pending
         link, transmitted inline (zero delay → no extra events)."""
+        prof = self.prof
+        if prof is not None:
+            prof.begin("deliver")
+        before = self.cells_carried
         for (src, dst), runs in self._pending.items():
             link = self.link_between(src, dst)
             batch = CellBatch(src, dst, round_index)
@@ -196,6 +224,8 @@ class WireFabric:
             self.cells_carried += len(batch)
         self._pending.clear()
         self.rounds_flushed += 1
+        if prof is not None:
+            prof.end(cells=self.cells_carried - before)
 
     # -- accounting ------------------------------------------------------------
 

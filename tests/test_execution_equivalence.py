@@ -105,6 +105,54 @@ class TestLiveEquivalence:
         assert voice_event == voice_batch
 
 
+class TestProfilerEquivalence:
+    """DESIGN.md §11: profiling is a host-time side channel.  A seeded
+    run with the phase profiler attached produces byte-identical
+    adversary observations, metrics, traces, and determinism keys to
+    the same run with profiling off — on both engines."""
+
+    def test_profiled_run_byte_identical_on_both_engines(self,
+                                                         tmp_path):
+        for execution in ("event", "batch"):
+            plain = _live_run(execution,
+                              trace_path=tmp_path /
+                              f"{execution}-off.jsonl")
+            profiled = _live_run(execution,
+                                 trace_path=tmp_path /
+                                 f"{execution}-on.jsonl",
+                                 profile=True)
+            # The profiler really ran...
+            assert profiled.perf is not None
+            assert profiled.perf["rounds_profiled"] == 25
+            assert profiled.perf["phases"]["chaff"]["cells"] > 0
+            assert plain.perf is None
+            # ...and every determinism surface is byte-identical.
+            assert profiled.detail["wiretap"]["observations"] == \
+                plain.detail["wiretap"]["observations"]
+            assert profiled.metrics == plain.metrics
+            assert profiled.to_prometheus() == plain.to_prometheus()
+            assert (tmp_path / f"{execution}-on.jsonl").read_bytes() \
+                == (tmp_path / f"{execution}-off.jsonl").read_bytes()
+            assert _wiretap_digest(profiled) == PINNED_WIRETAP_SHA256
+
+    def test_profiled_scenario_determinism_key_unchanged(self):
+        scenario = TestScenarioEquivalence.DEGRADATION_SCENARIO
+        for execution in ("event", "batch"):
+            plain = run_scenario(scenario, execution=execution)
+            profiled = run_scenario(scenario, execution=execution,
+                                    profile=True)
+            assert profiled.perf is not None
+            assert profiled.perf["phases"]
+            assert profiled.determinism_key == plain.determinism_key
+            assert profiled.metrics == plain.metrics
+            assert profiled.timeline == plain.timeline
+            # The artifact carries perf beside (not inside) the
+            # determinism surface.
+            artifact = profiled.to_artifact_dict()
+            assert artifact["perf"] is profiled.perf
+            assert "perf" not in plain.to_artifact_dict()
+
+
 class TestTestbedAndChaosEquivalence:
     def test_testbed_metrics_identical(self):
         def run(execution):

@@ -64,6 +64,35 @@ def test_hl001_only_fires_in_virtual_time_scope(tmp_path):
     assert result.findings == []
 
 
+def test_hl001_allowlist_is_scoped_to_perfclock_only(tmp_path):
+    """The herdprof exemption: ``obs/prof/perfclock.py`` is the one
+    sanctioned wall-clock module.  Any other file under ``obs/prof``
+    — or a file merely *named* perfclock.py elsewhere in scope —
+    still trips HL001."""
+    prof = tmp_path / "obs" / "prof"
+    prof.mkdir(parents=True)
+    clock_read = ("import time\n\n\ndef now():\n"
+                  "    return time.perf_counter()\n")
+
+    sanctioned = prof / "perfclock.py"
+    sanctioned.write_text(clock_read)
+    result = run_lint([str(sanctioned)],
+                      LintConfig(select=("HL001",)))
+    assert result.findings == []
+
+    rogue = prof / "rogue.py"
+    rogue.write_text(clock_read)
+    result = run_lint([str(rogue)], LintConfig(select=("HL001",)))
+    assert [f.rule_id for f in result.findings] == ["HL001"]
+
+    imposter_dir = tmp_path / "netsim"
+    imposter_dir.mkdir()
+    imposter = imposter_dir / "perfclock.py"
+    imposter.write_text(clock_read)
+    result = run_lint([str(imposter)], LintConfig(select=("HL001",)))
+    assert [f.rule_id for f in result.findings] == ["HL001"]
+
+
 def test_hl002_reports_the_resolved_name():
     result = lint("global_rng_violation.py", select=["HL002"])
     messages = " ".join(f.message for f in result.active)

@@ -1,0 +1,178 @@
+"""Prometheus exporter round-trip: parse the exposition text back.
+
+The herdscope exporter claims its output "follows the exposition
+conventions closely enough to be scraped".  This file holds it to
+that: a minimal scrape-side parser reads the rendered text back into
+``{name: {kind, series}}`` and the result must match the registry
+snapshot exactly — cumulative histogram buckets with the implicit
+``+Inf``, ``_sum``/``_count`` series, stable label sorting, and the
+non-finite value spellings (``NaN``/``+Inf``/``-Inf``) a scraper
+expects.
+"""
+
+import math
+import re
+
+from repro.obs.export import _format_value, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+_SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                     r"(?:\{(.*)\})? (.+)$")
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def _parse_value(text):
+    if text == "NaN":
+        return float("nan")
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_exposition(text):
+    """A minimal scrape-side parser: exposition text back into
+    ``{name: {"kind": str, "samples": [(labels, value)]}}``."""
+    out = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            out.setdefault(name, {"kind": kind, "samples": []})
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name, labels_text, value_text = match.groups()
+        labels = dict(_LABEL.findall(labels_text or ""))
+        # _bucket/_sum/_count samples belong to their histogram.
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        family = base if base in out else name
+        out.setdefault(family, {"kind": None, "samples": []})
+        out[family]["samples"].append((name, labels,
+                                       _parse_value(value_text)))
+    return out
+
+
+def _build_registry():
+    reg = MetricsRegistry()
+    # Multiple label sets, inserted in non-sorted order, to exercise
+    # the exporter's stable label ordering.
+    reg.counter("herd_cells_total", {"kind": "voice", "zone": "EU"},
+                help="cells carried").inc(7)
+    reg.counter("herd_cells_total", {"kind": "chaff", "zone": "EU"},
+                ).inc(3)
+    reg.counter("herd_cells_total", {"kind": "chaff", "zone": "AS"},
+                ).inc(2)
+    reg.gauge("herd_queue_depth", {"sp": "sp-0"}).set(4.5)
+    hist = reg.histogram("herd_latency_s", {"path": "up"},
+                         buckets=(0.01, 0.05, 0.25),
+                         help="one-way latency")
+    hist.observe_many([0.004, 0.004, 0.03, 0.10, 9.0])
+    return reg
+
+
+class TestRoundTrip:
+    def test_counters_and_gauges_round_trip(self):
+        reg = _build_registry()
+        snap = reg.snapshot()
+        parsed = parse_exposition(render_prometheus(snap))
+
+        assert parsed["herd_cells_total"]["kind"] == "counter"
+        got = {tuple(sorted(labels.items())): value
+               for _n, labels, value
+               in parsed["herd_cells_total"]["samples"]}
+        want = {tuple(sorted(s["labels"].items())): s["value"]
+                for s in snap["herd_cells_total"]["series"]}
+        assert got == want and len(got) == 3
+
+        assert parsed["herd_queue_depth"]["kind"] == "gauge"
+        (_n, labels, value), = parsed["herd_queue_depth"]["samples"]
+        assert labels == {"sp": "sp-0"} and value == 4.5
+
+    def test_histogram_buckets_sum_count_round_trip(self):
+        reg = _build_registry()
+        snap = reg.snapshot()
+        parsed = parse_exposition(render_prometheus(snap))
+
+        assert parsed["herd_latency_s"]["kind"] == "histogram"
+        samples = parsed["herd_latency_s"]["samples"]
+        series, = snap["herd_latency_s"]["series"]
+
+        buckets = [(labels["le"], value) for name, labels, value
+                   in samples if name == "herd_latency_s_bucket"]
+        # Finite bounds in ascending order, then the implicit +Inf.
+        assert [b for b, _ in buckets] == \
+            [_format_value(b) for b in series["buckets"]] + ["+Inf"]
+        # ``cumulative`` already carries the implicit +Inf bucket as
+        # its last entry; the exporter re-emits it as the le="+Inf"
+        # line.
+        counts = [c for _, c in buckets]
+        assert counts == series["cumulative"]
+        # Cumulative means monotone, ending at the total count.
+        assert counts == sorted(counts)
+        assert counts[-1] == series["count"] == 5
+
+        (_n, _l, total_sum), = [s for s in samples
+                                if s[0] == "herd_latency_s_sum"]
+        (_n, _l, total_count), = [s for s in samples
+                                  if s[0] == "herd_latency_s_count"]
+        assert total_sum == series["sum"] == \
+            0.004 + 0.004 + 0.03 + 0.10 + 9.0
+        assert total_count == 5
+
+    def test_label_sorting_is_stable_and_insertion_independent(self):
+        text_a = render_prometheus(_build_registry().snapshot())
+
+        reg = MetricsRegistry()  # same series, reversed insertion
+        reg.gauge("herd_queue_depth", {"sp": "sp-0"}).set(4.5)
+        hist = reg.histogram("herd_latency_s", {"path": "up"},
+                             buckets=(0.01, 0.05, 0.25),
+                             help="one-way latency")
+        hist.observe_many([0.004, 0.004, 0.03, 0.10, 9.0])
+        reg.counter("herd_cells_total",
+                    {"zone": "AS", "kind": "chaff"}).inc(2)
+        reg.counter("herd_cells_total",
+                    {"zone": "EU", "kind": "chaff"}).inc(3)
+        reg.counter("herd_cells_total",
+                    {"zone": "EU", "kind": "voice"},
+                    help="cells carried").inc(7)
+        assert render_prometheus(reg.snapshot()) == text_a
+
+        # Inside every brace pair the label names are sorted, with
+        # the histogram ``le`` label appended last by convention.
+        for line in text_a.splitlines():
+            match = _SAMPLE.match(line)
+            if not match or not match.group(2):
+                continue
+            names = [n for n, _v in _LABEL.findall(match.group(2))]
+            plain = [n for n in names if n != "le"]
+            assert plain == sorted(plain), line
+            if "le" in names:
+                assert names[-1] == "le", line
+
+    def test_nonfinite_values_render_per_convention(self):
+        assert _format_value(float("nan")) == "NaN"
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+        assert _format_value(3.0) == "3"
+        assert _format_value(0.25) == "0.25"
+
+        reg = MetricsRegistry()
+        reg.gauge("herd_ratio", {"case": "nan"}).set(float("nan"))
+        reg.gauge("herd_ratio", {"case": "pinf"}).set(float("inf"))
+        reg.gauge("herd_ratio", {"case": "ninf"}).set(float("-inf"))
+        text = render_prometheus(reg.snapshot())
+        assert 'herd_ratio{case="nan"} NaN' in text
+        assert 'herd_ratio{case="pinf"} +Inf' in text
+        assert 'herd_ratio{case="ninf"} -Inf' in text
+
+        parsed = parse_exposition(text)
+        by_case = {labels["case"]: value for _n, labels, value
+                   in parsed["herd_ratio"]["samples"]}
+        assert math.isnan(by_case["nan"])
+        assert by_case["pinf"] == math.inf
+        assert by_case["ninf"] == -math.inf
