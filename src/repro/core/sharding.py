@@ -1,0 +1,35 @@
+"""Shard-boundary declarations for the zone-parallel execution plane.
+
+ROADMAP item 1 splits the simulation across zone worker processes;
+every record that crosses that boundary (fan-out inputs, merge-step
+outputs, observer samples) is serialised with :mod:`pickle`.  A field
+that cannot be pickled — a lambda, an open handle, a socket, a lock,
+an event loop, a locally-defined class — fails at fan-out time, in
+production, long after the type was written.
+
+:func:`shard_crossing` moves that failure to review time: decorating a
+dataclass declares "instances of this type are serialised between
+shard workers", and herdlint's HL104 statically rejects non-picklable
+field types on every declared class.  The decorator itself is a
+zero-cost marker (it only stamps ``__shard_crossing__``); classes that
+cannot use a decorator may set ``__shard_crossing__ = True`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Type, TypeVar
+
+T = TypeVar("T")
+
+
+def shard_crossing(cls: Type[T]) -> Type[T]:
+    """Declare that instances of ``cls`` are pickled across the zone
+    shard boundary.  HL104 statically checks every field annotation of
+    a declared class for types that cannot survive the trip."""
+    cls.__shard_crossing__ = True
+    return cls
+
+
+def is_shard_crossing(cls: type) -> bool:
+    """True when ``cls`` (or a base) was declared shard-crossing."""
+    return bool(getattr(cls, "__shard_crossing__", False))

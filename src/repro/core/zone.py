@@ -17,11 +17,16 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.chaffing import RateController
+from repro.core.sharding import shard_crossing
 
 
+@shard_crossing
 @dataclass
 class ZoneConfig:
-    """Static parameters of a zone."""
+    """Static parameters of a zone.
+
+    Declared shard-crossing: the fan-out step hands each zone worker
+    its ``ZoneConfig``, so fields must stay picklable (HL104)."""
 
     zone_id: str
     site_id: str

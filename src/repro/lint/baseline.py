@@ -1,0 +1,88 @@
+"""Baseline file support: land new rules enforcing from day one.
+
+A baseline is a checked-in JSON file (``.herdlint-baseline.json``)
+listing findings that pre-date a rule's introduction.  Findings that
+match a baseline entry are reported as *baselined* — visible in every
+reporter, excluded from the exit code — so a new rule can gate ``src/``
+immediately while the pre-existing debt is burned down explicitly
+(shrinking the baseline is a reviewable diff; growing it is too).
+
+Matching is by ``(rule, path, message)`` multiset, deliberately
+ignoring line numbers: moving code around must not resurrect waived
+findings, but a *new* instance of the same message in the same file
+beyond the baselined count does fail the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.lint.engine import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_PATH = ".herdlint-baseline.json"
+
+#: The multiset key a finding is matched by.
+BaselineKey = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> BaselineKey:
+    return (finding.rule_id, finding.path, finding.message)
+
+
+def load_baseline(path: str) -> Counter:
+    """Load a baseline into a multiset of keys.  A missing or
+    unreadable file is an empty baseline (nothing waived)."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return Counter()
+    if data.get("version") != BASELINE_VERSION:
+        return Counter()
+    counts: Counter = Counter()
+    for entry in data.get("findings", []):
+        try:
+            counts[(entry["rule"], entry["path"],
+                    entry["message"])] += int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError):
+            continue
+    return counts
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Counter) -> List[Finding]:
+    """Mark findings covered by the baseline.  Each baseline entry
+    waives at most ``count`` occurrences of its key; suppressed
+    findings never consume baseline budget."""
+    remaining = Counter(baseline)
+    out: List[Finding] = []
+    for finding in findings:
+        if not finding.suppressed and remaining[_key(finding)] > 0:
+            remaining[_key(finding)] -= 1
+            finding = Finding(
+                **{**finding.__dict__, "baselined": True})
+        out.append(finding)
+    return out
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> Dict:
+    """Write the current unsuppressed findings as the new baseline
+    (``--update-baseline``) and return the payload."""
+    counts: Counter = Counter(
+        _key(f) for f in findings if not f.suppressed)
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "herdlint",
+        "findings": [
+            {"rule": rule, "path": file_path, "message": message,
+             "count": count}
+            for (rule, file_path, message), count in sorted(
+                counts.items())],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return payload

@@ -35,6 +35,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
+#: Informational findings never affect the exit code (e.g. HL006's
+#: partial-tree explanation).
+SEVERITY_NOTE = "note"
 
 #: Pseudo-rule id for files the engine cannot parse.
 PARSE_ERROR_ID = "HL000"
@@ -51,6 +54,9 @@ class Finding:
     col: int
     severity: str = SEVERITY_ERROR
     suppressed: bool = False
+    #: Waived by the checked-in baseline file (pre-existing debt being
+    #: burned down explicitly) rather than by an in-source comment.
+    baselined: bool = False
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule_id)
@@ -198,6 +204,16 @@ class ProjectRule(Rule):
         return ()
 
 
+class FlowRule(Rule):
+    """A rule driven by the herdflow dataflow analysis
+    (:class:`repro.lint.flow.FlowProgram`): CFGs, the call graph, and
+    converged interprocedural taint summaries over the scanned set."""
+
+    def check_flow(self, program,
+                   contexts: Sequence[FileContext]) -> Iterable[Finding]:
+        return ()
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 
@@ -214,8 +230,9 @@ def register(cls):
 
 def all_rules() -> List[Rule]:
     """Registered rules, ordered by id."""
-    # Importing the rules module populates the registry on first use.
+    # Importing the rule modules populates the registry on first use.
     from repro.lint import rules as _rules  # noqa: F401
+    from repro.lint.flow import rules as _flow_rules  # noqa: F401
     return [_REGISTRY[k] for k in sorted(_REGISTRY)]
 
 
@@ -226,6 +243,14 @@ class LintConfig:
     select: Optional[Tuple[str, ...]] = None
     ignore: Tuple[str, ...] = ()
     exclude: Tuple[str, ...] = ()
+    #: Run the herdflow dataflow rules (HL004-flow, HL007, HL10x).
+    #: Disabling skips building the FlowProgram entirely.
+    flow: bool = True
+    #: Persist/reuse per-file flow summaries here (None = no cache).
+    cache_path: Optional[str] = None
+    #: Waive findings recorded in this baseline file (None = no
+    #: baseline; a missing file is treated as an empty baseline).
+    baseline_path: Optional[str] = None
 
     def rule_enabled(self, rule_id: str) -> bool:
         if self.select is not None and rule_id not in self.select:
@@ -237,14 +262,33 @@ class LintConfig:
 class LintResult:
     findings: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
+    #: Files whose flow analysis was reused from / recomputed into the
+    #: summary cache (0, 0 when no flow rules or no cache ran).
+    flow_cache_hits: int = 0
+    flow_cache_misses: int = 0
 
     @property
     def active(self) -> List[Finding]:
-        return [f for f in self.findings if not f.suppressed]
+        """Findings that gate the exit code: not suppressed in source,
+        not waived by the baseline, and not informational notes."""
+        return [f for f in self.findings
+                if not f.suppressed and not f.baselined
+                and f.severity != SEVERITY_NOTE]
 
     @property
     def suppressed(self) -> List[Finding]:
         return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined(self) -> List[Finding]:
+        return [f for f in self.findings
+                if f.baselined and not f.suppressed]
+
+    @property
+    def notes(self) -> List[Finding]:
+        return [f for f in self.findings
+                if f.severity == SEVERITY_NOTE and not f.suppressed
+                and not f.baselined]
 
 
 def _iter_python_files(paths: Sequence[str],
@@ -309,11 +353,32 @@ def run_lint(paths: Sequence[str],
             contexts.append(ctx)
 
     by_path = {ctx.display_path: ctx for ctx in contexts}
+    rules = [r for r in all_rules() if config.rule_enabled(r.rule_id)]
+
+    program = None
+    flow_rules = [r for r in rules if isinstance(r, FlowRule)]
+    if flow_rules and config.flow:
+        # Imported here so the engine stays importable without the
+        # flow package (and so flow/rules.py can import the engine).
+        from repro.lint.flow.cache import FlowCache
+        from repro.lint.flow.program import FlowProgram
+        cache = None
+        if config.cache_path is not None:
+            cache = FlowCache(config.cache_path).load()
+        program = FlowProgram.build(contexts, cache=cache)
+        if cache is not None:
+            cache.save()
+            result.flow_cache_hits = program.cache_hits
+            result.flow_cache_misses = program.cache_misses
+
     raw: List[Finding] = []
-    for rule in all_rules():
-        if not config.rule_enabled(rule.rule_id):
-            continue
-        if isinstance(rule, ProjectRule):
+    for rule in rules:
+        if isinstance(rule, FlowRule):
+            if program is not None:
+                raw.extend(rule.check_flow(
+                    program,
+                    [c for c in contexts if rule.applies_to(c)]))
+        elif isinstance(rule, ProjectRule):
             raw.extend(rule.check_project(
                 [c for c in contexts if rule.applies_to(c)]))
         else:
@@ -333,5 +398,11 @@ def run_lint(paths: Sequence[str],
                 finding.rule_id, finding.line):
             finding = Finding(**{**finding.__dict__, "suppressed": True})
         result.findings.append(finding)
+
+    if config.baseline_path is not None:
+        from repro.lint.baseline import apply_baseline, load_baseline
+        result.findings = apply_baseline(
+            result.findings, load_baseline(config.baseline_path))
+
     result.findings.sort(key=Finding.sort_key)
     return result

@@ -1,0 +1,148 @@
+"""Autofixes: mechanical rewrites for findings with one right answer.
+
+``repro lint --fix`` applies these before linting.  Only HL003 has an
+autofix today — ``a == b`` / ``a != b`` on MAC/digest operands becomes
+``hmac.compare_digest(a, b)`` / ``not hmac.compare_digest(a, b)`` —
+because it is the one rule whose remediation is a pure, local,
+semantics-preserving rewrite (plus an ``import hmac`` when missing).
+
+Fixes are applied to exact source spans (``end_col_offset`` slicing,
+bottom-up so earlier spans stay valid), never by re-serialising the
+AST: untouched code keeps its formatting and comments byte-for-byte.
+The rewrite is idempotent — ``hmac.compare_digest(...)`` is a call,
+not a ``Compare``, so a second ``--fix`` pass finds nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.lint.rules import _is_digest_operand
+
+
+@dataclass
+class FileFix:
+    """Outcome of fixing one file."""
+
+    path: str
+    sites_fixed: int
+    added_import: bool
+
+
+def _segment(lines: List[str], node: ast.expr) -> Optional[str]:
+    """Exact source text of ``node`` (multi-line safe)."""
+    if node.end_lineno is None or node.end_col_offset is None:
+        return None
+    if node.lineno == node.end_lineno:
+        return lines[node.lineno - 1][node.col_offset:node.end_col_offset]
+    parts = [lines[node.lineno - 1][node.col_offset:]]
+    parts.extend(lines[node.lineno:node.end_lineno - 1])
+    parts.append(lines[node.end_lineno - 1][:node.end_col_offset])
+    return "\n".join(parts)
+
+
+def _digest_compare_sites(tree: ast.Module) -> List[ast.Compare]:
+    """The HL003-fixable compares: a single ``==``/``!=`` between two
+    operands, at least one digest-shaped.  Chained comparisons are
+    left for a human (the rewrite would change evaluation order)."""
+    sites = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if len(node.ops) != 1 or not isinstance(
+                node.ops[0], (ast.Eq, ast.NotEq)):
+            continue
+        operands = [node.left, node.comparators[0]]
+        if any(isinstance(op, ast.Constant) and op.value is None
+               for op in operands):
+            continue  # `mac is not None` style guards, spelled with ==
+        if any(_is_digest_operand(op) for op in operands):
+            sites.append(node)
+    return sites
+
+
+def _has_hmac_import(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name == "hmac" and alias.asname is None
+                   for alias in node.names):
+                return True
+    return False
+
+
+def _import_insert_line(tree: ast.Module) -> int:
+    """0-based line index to insert ``import hmac`` at: after the last
+    top-level import, else after the module docstring, else line 0."""
+    last_import = None
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last_import = node
+    if last_import is not None:
+        return (last_import.end_lineno or last_import.lineno)
+    if (tree.body and isinstance(tree.body[0], ast.Expr)
+            and isinstance(tree.body[0].value, ast.Constant)
+            and isinstance(tree.body[0].value.value, str)):
+        return tree.body[0].end_lineno or tree.body[0].lineno
+    return 0
+
+
+def fix_source(source: str) -> Tuple[str, int]:
+    """Rewrite every fixable HL003 site in ``source``.  Returns the
+    new source and the number of sites rewritten (0 leaves the source
+    untouched, byte-for-byte)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, 0
+    sites = _digest_compare_sites(tree)
+    if not sites:
+        return source, 0
+    lines = source.splitlines()
+    trailing_newline = source.endswith("\n")
+    # Bottom-up so earlier spans keep their coordinates.
+    sites.sort(key=lambda n: (n.lineno, n.col_offset), reverse=True)
+    fixed = 0
+    for node in sites:
+        left = _segment(lines, node.left)
+        right = _segment(lines, node.comparators[0])
+        if left is None or right is None or node.end_lineno is None:
+            continue
+        call = f"hmac.compare_digest({left}, {right})"
+        if isinstance(node.ops[0], ast.NotEq):
+            # Parenthesised so the rewrite is safe in any expression
+            # context (`not` binds looser than a comparison did).
+            call = f"(not {call})"
+        start, end = node.lineno - 1, node.end_lineno - 1
+        prefix = lines[start][:node.col_offset]
+        suffix = lines[end][node.end_col_offset:]
+        lines[start:end + 1] = [prefix + call + suffix]
+        fixed += 1
+    if fixed and not _has_hmac_import(tree):
+        lines.insert(_import_insert_line(tree), "import hmac")
+    return "\n".join(lines) + ("\n" if trailing_newline else ""), fixed
+
+
+def fix_paths(paths: List[Path]) -> List[FileFix]:
+    """Apply :func:`fix_source` to each file in place, returning one
+    :class:`FileFix` per file that changed."""
+    results: List[FileFix] = []
+    for path in paths:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        had_import = True
+        try:
+            had_import = _has_hmac_import(ast.parse(source))
+        except SyntaxError:
+            pass
+        new_source, fixed = fix_source(source)
+        if fixed:
+            path.write_text(new_source, encoding="utf-8")
+            results.append(FileFix(path=path.as_posix(),
+                                   sites_fixed=fixed,
+                                   added_import=not had_import))
+    return results

@@ -1,0 +1,210 @@
+"""Content-hash summary cache for whole-tree flow analysis.
+
+The cache stores, per file: the SHA-256 of the source it was computed
+from, the :class:`~repro.lint.flow.taint.FunctionSummary` of every
+function in the file, and the analysis *events* (sink/probe/blocking
+hits) the reporting pass produced.  A file's cached entry is reusable
+only when its own hash matches **and** every file it calls into is
+itself reusable (summaries flow callee→caller, so a changed callee
+invalidates its transitive callers); :class:`FlowProgram` computes
+that closure and re-analyses exactly the invalid set.
+
+The cache file is plain JSON (``.herdlint-cache.json`` by default),
+safe to delete at any time, and versioned — a bump of
+``CACHE_VERSION`` (on any change to the analysis semantics)
+invalidates everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.flow.taint import (
+    BlockingCall,
+    FunctionSummary,
+    ProbeHit,
+    SinkHit,
+)
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_PATH = ".herdlint-cache.json"
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+# -- (de)serialisation ------------------------------------------------
+
+
+def _sink_to_dict(hit: SinkHit) -> Dict:
+    return {"kind": hit.kind, "line": hit.line, "col": hit.col,
+            "label": hit.label, "origin": hit.origin,
+            "via": list(hit.via)}
+
+
+def _sink_from_dict(data: Dict) -> SinkHit:
+    return SinkHit(kind=data["kind"], line=data["line"],
+                   col=data["col"], label=data["label"],
+                   origin=data["origin"], via=tuple(data["via"]))
+
+
+def _probe_to_dict(hit: ProbeHit) -> Dict:
+    return {"probe": hit.probe, "callee": hit.callee,
+            "line": hit.line, "col": hit.col,
+            "arg_labels": [list(labels) for labels in hit.arg_labels],
+            "arg_params": [list(params) for params in hit.arg_params]}
+
+
+def _probe_from_dict(data: Dict) -> ProbeHit:
+    return ProbeHit(
+        probe=data["probe"], callee=data["callee"],
+        line=data["line"], col=data["col"],
+        arg_labels=tuple(tuple(x) for x in data["arg_labels"]),
+        arg_params=tuple(tuple(x) for x in data["arg_params"]))
+
+
+def _blocking_to_dict(call: BlockingCall) -> Dict:
+    return {"callee": call.callee, "line": call.line,
+            "col": call.col, "via": list(call.via)}
+
+
+def _blocking_from_dict(data: Dict) -> BlockingCall:
+    return BlockingCall(callee=data["callee"], line=data["line"],
+                        col=data["col"], via=tuple(data["via"]))
+
+
+def summary_to_dict(summary: FunctionSummary) -> Dict:
+    return {
+        "return_labels": [list(pair) for pair in summary.return_labels],
+        "param_to_return": list(summary.param_to_return),
+        "param_sinks": {
+            str(k): [_sink_to_dict(h) for h in hits]
+            for k, hits in summary.param_sinks.items()},
+        "param_probes": {
+            str(k): [_probe_to_dict(h) for h in hits]
+            for k, hits in summary.param_probes.items()},
+        "blocking": [_blocking_to_dict(b) for b in summary.blocking],
+    }
+
+
+def summary_from_dict(data: Dict) -> FunctionSummary:
+    return FunctionSummary(
+        return_labels=tuple(
+            (pair[0], pair[1]) for pair in data["return_labels"]),
+        param_to_return=tuple(data["param_to_return"]),
+        param_sinks={
+            int(k): tuple(_sink_from_dict(h) for h in hits)
+            for k, hits in data["param_sinks"].items()},
+        param_probes={
+            int(k): tuple(_probe_from_dict(h) for h in hits)
+            for k, hits in data["param_probes"].items()},
+        blocking=tuple(
+            _blocking_from_dict(b) for b in data["blocking"]))
+
+
+@dataclass
+class FunctionEvents:
+    """The reporting-pass output for one function."""
+
+    sink_hits: List[SinkHit] = field(default_factory=list)
+    probe_hits: List[ProbeHit] = field(default_factory=list)
+    blocking_calls: List[BlockingCall] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "sink_hits": [_sink_to_dict(h) for h in self.sink_hits],
+            "probe_hits": [_probe_to_dict(h) for h in self.probe_hits],
+            "blocking_calls": [_blocking_to_dict(b)
+                               for b in self.blocking_calls],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FunctionEvents":
+        return cls(
+            sink_hits=[_sink_from_dict(h) for h in data["sink_hits"]],
+            probe_hits=[_probe_from_dict(h)
+                        for h in data["probe_hits"]],
+            blocking_calls=[_blocking_from_dict(b)
+                            for b in data["blocking_calls"]])
+
+
+@dataclass
+class FileEntry:
+    """Cached analysis of one file."""
+
+    source_hash: str
+    summaries: Dict[str, FunctionSummary]
+    events: Dict[str, FunctionEvents]
+
+    def to_dict(self) -> Dict:
+        return {
+            "source_hash": self.source_hash,
+            "summaries": {fid: summary_to_dict(s)
+                          for fid, s in self.summaries.items()},
+            "events": {fid: e.to_dict()
+                       for fid, e in self.events.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FileEntry":
+        return cls(
+            source_hash=data["source_hash"],
+            summaries={fid: summary_from_dict(s)
+                       for fid, s in data["summaries"].items()},
+            events={fid: FunctionEvents.from_dict(e)
+                    for fid, e in data["events"].items()})
+
+
+class FlowCache:
+    """Load/store of per-file entries, keyed by display path."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = Path(path or DEFAULT_CACHE_PATH)
+        self.entries: Dict[str, FileEntry] = {}
+        self.loaded_from_disk = False
+        #: (hits, misses) of the last FlowProgram build, for --stats.
+        self.last_run: Tuple[int, int] = (0, 0)
+
+    def load(self) -> "FlowCache":
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return self
+        if data.get("version") != CACHE_VERSION:
+            return self
+        try:
+            self.entries = {
+                path: FileEntry.from_dict(entry)
+                for path, entry in data.get("files", {}).items()}
+            self.loaded_from_disk = True
+        except (KeyError, TypeError, ValueError):
+            self.entries = {}
+        return self
+
+    def save(self) -> None:
+        payload = {
+            "version": CACHE_VERSION,
+            "files": {path: entry.to_dict()
+                      for path, entry in sorted(self.entries.items())},
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True) + "\n",
+                encoding="utf-8")
+        except OSError:
+            pass  # a read-only checkout just runs uncached
+
+    def get(self, display_path: str,
+            source_hash: str) -> Optional[FileEntry]:
+        entry = self.entries.get(display_path)
+        if entry is not None and entry.source_hash == source_hash:
+            return entry
+        return None
+
+    def put(self, display_path: str, entry: FileEntry) -> None:
+        self.entries[display_path] = entry

@@ -1,0 +1,264 @@
+"""Call graph over the scanned file set.
+
+Functions get stable qualified ids: ``<module>.<qualname>`` where the
+module name is recovered from the filesystem (walking up through
+``__init__.py`` packages, so ``src/repro/crypto/kdf.py`` becomes
+``repro.crypto.kdf`` no matter what directory the linter was invoked
+from) and the qualname nests classes (``repro.core.mix.Mix.forward``).
+
+Resolution is necessarily partial — this is Python — and errs on the
+side of *not* resolving: a call site maps to a
+:class:`~repro.lint.flow.callgraph.FunctionInfo` only when the target
+is a top-level function or method defined in the scanned set, reached
+through a direct name, an import tracked by
+:class:`~repro.lint.engine.ImportMap`, or ``self``/``cls``.  Unresolved
+calls stay unresolved and the taint pass treats them conservatively.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.lint.engine import FileContext
+
+FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, recovered from the package
+    structure on disk (``__init__.py`` chain).  Loose files fall back
+    to their stem."""
+    try:
+        resolved = path.resolve()
+    except OSError:
+        resolved = path
+    parts = [resolved.stem] if resolved.stem != "__init__" else []
+    parent = resolved.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    if not parts:
+        parts = [resolved.stem]
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the scanned set."""
+
+    qualified_id: str
+    module: str
+    qualname: str
+    node: FuncDef
+    ctx: FileContext
+    is_async: bool
+    class_name: Optional[str] = None
+    #: Positional-or-keyword parameter names, in order (self/cls kept).
+    params: Tuple[str, ...] = ()
+    decorators: Tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class CallSite:
+    """One resolved call edge with its AST node (for locations)."""
+
+    caller: str
+    callee: str
+    node: ast.Call
+    #: True when the call is a bare expression statement (its return
+    #: value is discarded) — what HL103 keys on for dropped coroutines.
+    is_statement: bool = False
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    def __init__(self, module: str, ctx: FileContext):
+        self.module = module
+        self.ctx = ctx
+        self.functions: List[FunctionInfo] = []
+        self._scope: List[str] = []
+        self._class_stack: List[str] = []
+
+    def _decorator_names(self, node: FuncDef) -> Tuple[str, ...]:
+        names = []
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            resolved = self.ctx.imports.qualified_name(target)
+            if resolved is None:
+                parts = []
+                while isinstance(target, ast.Attribute):
+                    parts.append(target.attr)
+                    target = target.value
+                if isinstance(target, ast.Name):
+                    parts.append(target.id)
+                resolved = ".".join(reversed(parts)) if parts else ""
+            if resolved:
+                names.append(resolved)
+        return tuple(names)
+
+    def _visit_func(self, node: FuncDef) -> None:
+        qualname = ".".join([*self._scope, node.name])
+        params = tuple(
+            a.arg for a in [*node.args.posonlyargs, *node.args.args])
+        self.functions.append(FunctionInfo(
+            qualified_id=f"{self.module}.{qualname}",
+            module=self.module,
+            qualname=qualname,
+            node=node,
+            ctx=self.ctx,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            class_name=self._class_stack[-1] if self._class_stack else None,
+            params=params,
+            decorators=self._decorator_names(node)))
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.append(node.name)
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+        self._scope.pop()
+
+
+class CallGraph:
+    """Function index + resolved call edges for the scanned set."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: module -> {top-level or method name -> qualified ids}
+        self._by_module_name: Dict[Tuple[str, str], List[str]] = {}
+        self.call_sites: List[CallSite] = []
+        self.edges: Dict[str, Set[str]] = {}
+        self.reverse_edges: Dict[str, Set[str]] = {}
+
+    # -- construction -------------------------------------------------
+
+    def add_file(self, ctx: FileContext) -> List[FunctionInfo]:
+        module = module_name_for(ctx.path)
+        collector = _FunctionCollector(module, ctx)
+        collector.visit(ctx.tree)
+        for info in collector.functions:
+            self.functions[info.qualified_id] = info
+            self._by_module_name.setdefault(
+                (module, info.qualname), []).append(info.qualified_id)
+        return collector.functions
+
+    def resolve_calls(self, info: FunctionInfo) -> None:
+        """Record edges for every call inside ``info`` that resolves
+        to a scanned function.  One walk collects both the calls and
+        the set of statement-expression calls (``is_statement``), so
+        downstream rules need no second traversal."""
+        calls: List[ast.Call] = []
+        stmt_calls: Set[int] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                calls.append(node)
+            elif isinstance(node, ast.Expr) and \
+                    isinstance(node.value, ast.Call):
+                stmt_calls.add(id(node.value))
+        for node in calls:
+            callee = self.resolve_call_target(info, node)
+            if callee is None:
+                continue
+            self.call_sites.append(CallSite(
+                caller=info.qualified_id, callee=callee, node=node,
+                is_statement=id(node) in stmt_calls))
+            self.edges.setdefault(info.qualified_id, set()).add(callee)
+            self.reverse_edges.setdefault(callee, set()).add(
+                info.qualified_id)
+
+    def resolve_call_target(self, caller: FunctionInfo,
+                            node: ast.Call) -> Optional[str]:
+        func = node.func
+        module = caller.module
+        # Direct name: local function in the same module, or an
+        # import tracked by the ImportMap.
+        if isinstance(func, ast.Name):
+            local = self._lookup(module, func.id)
+            if local:
+                return local
+            dotted = caller.ctx.imports.aliases.get(func.id)
+            if dotted:
+                return self._lookup_dotted(dotted)
+            return None
+        if isinstance(func, ast.Attribute):
+            # self.method() / cls.method() within a class.
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id in ("self", "cls")
+                    and caller.class_name):
+                return self._lookup(
+                    module, f"{caller.class_name}.{func.attr}")
+            # module-attribute call through an import.
+            dotted = caller.ctx.imports.qualified_name(func)
+            if dotted:
+                return self._lookup_dotted(dotted)
+        return None
+
+    def _lookup(self, module: str, qualname: str) -> Optional[str]:
+        ids = self._by_module_name.get((module, qualname))
+        return ids[0] if ids else None
+
+    def _lookup_dotted(self, dotted: str) -> Optional[str]:
+        """Resolve ``pkg.mod.func`` / ``pkg.mod.Class.method`` against
+        the function index by trying every module/qualname split."""
+        if dotted in self.functions:
+            return dotted
+        parts = dotted.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:split])
+            qualname = ".".join(parts[split:])
+            found = self._lookup(module, qualname)
+            if found:
+                return found
+        return None
+
+    # -- queries ------------------------------------------------------
+
+    def callees(self, qualified_id: str) -> Set[str]:
+        return self.edges.get(qualified_id, set())
+
+    def callers(self, qualified_id: str) -> Set[str]:
+        return self.reverse_edges.get(qualified_id, set())
+
+    def topo_order(self) -> List[str]:
+        """Callee-before-caller order (cycles broken arbitrarily but
+        deterministically) — the summary computation schedule."""
+        order: List[str] = []
+        visited: Dict[str, int] = {}  # 0 = in progress, 1 = done
+
+        def visit(fid: str) -> None:
+            stack = [(fid, iter(sorted(self.callees(fid))))]
+            visited[fid] = 0
+            while stack:
+                current, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if child in visited or child not in self.functions:
+                        continue
+                    visited[child] = 0
+                    stack.append(
+                        (child, iter(sorted(self.callees(child)))))
+                    advanced = True
+                    break
+                if not advanced:
+                    visited[current] = 1
+                    order.append(current)
+                    stack.pop()
+
+        for fid in sorted(self.functions):
+            if fid not in visited:
+                visit(fid)
+        return order

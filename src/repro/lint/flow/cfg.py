@@ -1,0 +1,308 @@
+"""Per-function control-flow graphs over the Python AST.
+
+A :class:`CFG` is a set of :class:`BasicBlock` nodes holding
+*simple* statements, connected by directed edges that model every way
+control can move between them: branch arms rejoining after an ``if``,
+loop back-edges, ``break``/``continue`` exits, ``try`` bodies that may
+jump to any handler after any statement, and ``finally`` blocks that
+run on both the normal and the exceptional path.
+
+The graph is deliberately statement-granular rather than
+instruction-granular: the taint transfer functions in
+:mod:`repro.lint.flow.taint` interpret whole statements, so a block is
+just a maximal straight-line run of them.  Compound statements never
+appear *inside* a block — their headers (the ``if`` test, the loop
+iterable, the ``with`` context expression) are materialised as
+standalone :class:`HeaderStmt` markers so dataflow still sees the
+expressions they evaluate.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class HeaderStmt:
+    """A compound-statement header lifted into the statement stream.
+
+    ``kind`` names the construct ("if", "while", "for", "with",
+    "match"); ``expr`` is the expression the header evaluates (the
+    test, the iterable, the context manager) and ``node`` the original
+    compound statement (for locations).  ``target`` is the assignment
+    target a ``for``/``with`` binds, when there is one.
+    """
+
+    kind: str
+    expr: Optional[ast.expr]
+    node: ast.stmt
+    target: Optional[ast.expr] = None
+
+
+Stmt = Union[ast.stmt, HeaderStmt]
+
+
+@dataclass
+class BasicBlock:
+    block_id: int
+    statements: List[Stmt] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+
+    def add_successor(self, block_id: int) -> None:
+        if block_id not in self.successors:
+            self.successors.append(block_id)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    name: str
+    entry: int
+    exit: int
+    blocks: Dict[int, BasicBlock]
+
+    @property
+    def predecessors(self) -> Dict[int, List[int]]:
+        preds: Dict[int, List[int]] = {bid: [] for bid in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.successors:
+                preds[succ].append(block.block_id)
+        return preds
+
+    def reachable_blocks(self) -> List[int]:
+        """Block ids reachable from the entry, in a deterministic
+        (discovery) order — the worklist seed for the fixpoint."""
+        seen: List[int] = []
+        stack = [self.entry]
+        visited = set()
+        while stack:
+            bid = stack.pop()
+            if bid in visited:
+                continue
+            visited.add(bid)
+            seen.append(bid)
+            stack.extend(reversed(self.blocks[bid].successors))
+        return seen
+
+
+class _Builder:
+    """One-pass recursive CFG construction.
+
+    The builder threads a "current block" through the statement list;
+    compound statements split it.  ``break``/``continue``/``return``/
+    ``raise`` seal the current block (control never falls through), a
+    sealed block simply accumulates no further successors.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.blocks: Dict[int, BasicBlock] = {}
+        self._next_id = 0
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        # Innermost-first stacks of (loop-header block, loop-exit block).
+        self._loop_stack: List[tuple] = []
+        # Blocks a raise inside the active try body may jump to.
+        self._handler_stack: List[List[int]] = []
+
+    def _new_block(self) -> int:
+        bid = self._next_id
+        self._next_id += 1
+        self.blocks[bid] = BasicBlock(bid)
+        return bid
+
+    def _link(self, src: int, dst: int) -> None:
+        self.blocks[src].add_successor(dst)
+
+    # -- statement dispatch -------------------------------------------
+
+    def build(self, body: List[ast.stmt]) -> CFG:
+        last = self._emit_body(body, self.entry)
+        if last is not None:
+            self._link(last, self.exit)
+        return CFG(name=self.name, entry=self.entry, exit=self.exit,
+                   blocks=self.blocks)
+
+    def _emit_body(self, body: List[ast.stmt],
+                   current: Optional[int]) -> Optional[int]:
+        """Emit ``body`` starting in ``current``; return the open
+        block control falls out of, or None when every path left."""
+        for stmt in body:
+            if current is None:
+                # Unreachable code after return/raise/break: park it in
+                # a fresh (entry-unreachable) block so locations still
+                # resolve, then keep threading.
+                current = self._new_block()
+            current = self._emit_stmt(stmt, current)
+        return current
+
+    def _emit_stmt(self, stmt: ast.stmt,
+                   current: int) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._emit_if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._emit_loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._emit_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._emit_with(stmt, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.blocks[current].statements.append(stmt)
+            if isinstance(stmt, ast.Raise):
+                for handlers in reversed(self._handler_stack):
+                    for handler in handlers:
+                        self._link(current, handler)
+                    break  # nearest enclosing try only
+                else:
+                    self._link(current, self.exit)
+            else:
+                self._link(current, self.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            self.blocks[current].statements.append(stmt)
+            if self._loop_stack:
+                self._link(current, self._loop_stack[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            self.blocks[current].statements.append(stmt)
+            if self._loop_stack:
+                self._link(current, self._loop_stack[-1][0])
+            return None
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # Nested definitions get their own CFG elsewhere; here the
+            # def is just a binding statement.
+            self.blocks[current].statements.append(stmt)
+            return current
+        # Simple statement.
+        self.blocks[current].statements.append(stmt)
+        if self._handler_stack and self._may_raise(stmt):
+            for handler in self._handler_stack[-1]:
+                self._link(current, handler)
+        return current
+
+    @staticmethod
+    def _may_raise(stmt: ast.stmt) -> bool:
+        """Whether a simple statement can transfer to a handler.
+        Anything containing a call or subscript can; pure constant or
+        name-to-name assignments cannot."""
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Call, ast.Subscript, ast.Attribute,
+                                 ast.BinOp, ast.Assert)):
+                return True
+        return False
+
+    # -- compound statements ------------------------------------------
+
+    def _emit_if(self, stmt: ast.If, current: int) -> Optional[int]:
+        self.blocks[current].statements.append(
+            HeaderStmt("if", stmt.test, stmt))
+        then_entry = self._new_block()
+        self._link(current, then_entry)
+        then_exit = self._emit_body(stmt.body, then_entry)
+        if stmt.orelse:
+            else_entry = self._new_block()
+            self._link(current, else_entry)
+            else_exit = self._emit_body(stmt.orelse, else_entry)
+        else:
+            else_exit = current
+        if then_exit is None and else_exit is None:
+            return None
+        join = self._new_block()
+        for tail in (then_exit, else_exit):
+            if tail is not None:
+                self._link(tail, join)
+        return join
+
+    def _emit_loop(self, stmt: Union[ast.While, ast.For, ast.AsyncFor],
+                   current: int) -> Optional[int]:
+        header = self._new_block()
+        self._link(current, header)
+        if isinstance(stmt, ast.While):
+            self.blocks[header].statements.append(
+                HeaderStmt("while", stmt.test, stmt))
+        else:
+            self.blocks[header].statements.append(
+                HeaderStmt("for", stmt.iter, stmt, target=stmt.target))
+        after = self._new_block()
+        self._loop_stack.append((header, after))
+        body_entry = self._new_block()
+        self._link(header, body_entry)
+        body_exit = self._emit_body(stmt.body, body_entry)
+        if body_exit is not None:
+            self._link(body_exit, header)  # back edge
+        self._loop_stack.pop()
+        if stmt.orelse:
+            else_entry = self._new_block()
+            self._link(header, else_entry)
+            else_exit = self._emit_body(stmt.orelse, else_entry)
+            if else_exit is not None:
+                self._link(else_exit, after)
+        else:
+            self._link(header, after)
+        return after
+
+    def _emit_with(self, stmt: Union[ast.With, ast.AsyncWith],
+                   current: int) -> Optional[int]:
+        for item in stmt.items:
+            self.blocks[current].statements.append(
+                HeaderStmt("with", item.context_expr, stmt,
+                           target=item.optional_vars))
+        body_entry = self._new_block()
+        self._link(current, body_entry)
+        return self._emit_body(stmt.body, body_entry)
+
+    def _emit_try(self, stmt: ast.Try, current: int) -> Optional[int]:
+        handler_entries = [self._new_block() for _ in stmt.handlers]
+        self._handler_stack.append(handler_entries)
+        body_entry = self._new_block()
+        self._link(current, body_entry)
+        # Any statement in the body may raise before executing, so the
+        # body entry itself can reach every handler.
+        for handler in handler_entries:
+            self._link(body_entry, handler)
+        body_exit = self._emit_body(stmt.body, body_entry)
+        self._handler_stack.pop()
+
+        tails: List[Optional[int]] = []
+        if body_exit is not None:
+            if stmt.orelse:
+                else_entry = self._new_block()
+                self._link(body_exit, else_entry)
+                tails.append(self._emit_body(stmt.orelse, else_entry))
+            else:
+                tails.append(body_exit)
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            if handler.name:
+                # Bind the caught exception as an assignment-like
+                # header so the taint pass sees the name appear.
+                self.blocks[entry].statements.append(
+                    HeaderStmt("except", handler.type, handler))
+            tails.append(self._emit_body(handler.body, entry))
+
+        live = [t for t in tails if t is not None]
+        if stmt.finalbody:
+            final_entry = self._new_block()
+            for tail in live:
+                self._link(tail, final_entry)
+            if not live:
+                # Every path raised/returned; finally still runs.
+                self._link(current, final_entry)
+            final_exit = self._emit_body(stmt.finalbody, final_entry)
+            return final_exit
+        if not live:
+            return None
+        join = self._new_block()
+        for tail in live:
+            self._link(tail, join)
+        return join
+
+
+def build_cfg(func: FuncDef) -> CFG:
+    """Build the CFG of one ``def``/``async def`` body."""
+    return _Builder(func.name).build(func.body)

@@ -1,0 +1,248 @@
+"""FlowProgram: the whole-program view flow rules consume.
+
+Built once per lint run from the engine's parsed
+:class:`~repro.lint.engine.FileContext` list:
+
+1. index every function/method into the :class:`CallGraph` and add a
+   ``<module>`` pseudo-function per file so module-level statements
+   are analysed too;
+2. resolve call edges and derive the file-level dependency graph;
+3. decide, against the :class:`~repro.lint.flow.cache.FlowCache`,
+   which files are *valid* (own hash unchanged and every transitive
+   callee file valid) — their summaries and events load straight from
+   the cache — and which must be re-analysed;
+4. run the interprocedural summary fixpoint over the invalid set and
+   collect the reporting-pass events;
+5. write the refreshed entries back into the cache object (the CLI
+   decides whether to persist it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.lint.engine import FileContext
+from repro.lint.flow.cache import (
+    FileEntry,
+    FlowCache,
+    FunctionEvents,
+    content_hash,
+)
+from repro.lint.flow.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    module_name_for,
+)
+from repro.lint.flow.cfg import CFG, build_cfg
+from repro.lint.flow.taint import (
+    DEFAULT_SPEC,
+    FunctionSummary,
+    TaintSpec,
+    iterate_summaries,
+)
+
+MODULE_FUNC = "<module>"
+
+
+def _module_pseudo_def(tree: ast.Module) -> ast.FunctionDef:
+    """A synthetic def wrapping the module body, so the CFG builder
+    and tainter can treat module-level code like a function.  The body
+    statements already carry locations; only the new wrapper nodes
+    need them stamped (``fix_missing_locations`` would re-walk the
+    whole module, which is the dominant warm-cache cost at scale)."""
+    filler = ast.Pass(lineno=1, col_offset=0,
+                      end_lineno=1, end_col_offset=4)
+    node = ast.FunctionDef(
+        name=MODULE_FUNC,
+        args=ast.arguments(posonlyargs=[], args=[], vararg=None,
+                           kwonlyargs=[], kw_defaults=[], kwarg=None,
+                           defaults=[]),
+        body=list(tree.body) or [filler],
+        decorator_list=[], returns=None, type_comment=None)
+    return ast.copy_location(node, node.body[0])
+
+
+def _toplevel_calls(tree: ast.Module) -> List[tuple]:
+    """``(call, is_statement)`` pairs for module-level statements,
+    without descending into function/class bodies (those belong to
+    their own functions)."""
+    calls: List[tuple] = []
+    stmt_calls: set = set()
+    stack: List[ast.AST] = [
+        s for s in tree.body
+        if not isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef))]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Expr) and \
+                isinstance(node.value, ast.Call):
+            stmt_calls.add(id(node.value))
+        if isinstance(node, ast.Call):
+            calls.append((node, id(node) in stmt_calls))
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                stack.append(child)
+    return calls
+
+
+class FlowProgram:
+    """CFGs + call graph + converged summaries + analysis events for
+    one scanned file set."""
+
+    def __init__(self, spec: TaintSpec):
+        self.spec = spec
+        self.graph = CallGraph()
+        self.contexts: List[FileContext] = []
+        #: display path -> that file's functions (module pseudo last).
+        self.functions_by_file: Dict[str, List[FunctionInfo]] = {}
+        self.summaries: Dict[str, FunctionSummary] = {}
+        #: display path -> function id -> events.
+        self.events: Dict[str, Dict[str, FunctionEvents]] = {}
+        self.cfgs: Dict[str, CFG] = {}
+        #: (files reused from cache, files analysed) for --stats.
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def build(cls, contexts: Sequence[FileContext],
+              spec: TaintSpec = DEFAULT_SPEC,
+              cache: Optional[FlowCache] = None) -> "FlowProgram":
+        program = cls(spec)
+        program.contexts = list(contexts)
+        hashes: Dict[str, str] = {}
+
+        # Pass 1: index functions (plus the <module> pseudo per file).
+        for ctx in contexts:
+            infos = program.graph.add_file(ctx)
+            module = module_name_for(ctx.path)
+            pseudo = FunctionInfo(
+                qualified_id=f"{module}.{MODULE_FUNC}",
+                module=module, qualname=MODULE_FUNC,
+                node=_module_pseudo_def(ctx.tree), ctx=ctx,
+                is_async=False, params=())
+            program.graph.functions[pseudo.qualified_id] = pseudo
+            program.functions_by_file[ctx.display_path] = \
+                [*infos, pseudo]
+            hashes[ctx.display_path] = content_hash(ctx.source)
+
+        # Pass 2: resolve call edges (function bodies + module level).
+        for ctx in contexts:
+            for info in program.functions_by_file[ctx.display_path]:
+                if info.qualname == MODULE_FUNC:
+                    for call, is_stmt in _toplevel_calls(ctx.tree):
+                        callee = program.graph.resolve_call_target(
+                            info, call)
+                        if callee is not None:
+                            program.graph.call_sites.append(CallSite(
+                                caller=info.qualified_id,
+                                callee=callee, node=call,
+                                is_statement=is_stmt))
+                            program.graph.edges.setdefault(
+                                info.qualified_id, set()).add(callee)
+                            program.graph.reverse_edges.setdefault(
+                                callee, set()).add(info.qualified_id)
+                else:
+                    program.graph.resolve_calls(info)
+
+        # Cache validity: a file is reusable when its hash matches and
+        # every file it (transitively) calls into is reusable.
+        valid = program._valid_files(hashes, cache)
+        for path in sorted(program.functions_by_file):
+            if path in valid and cache is not None:
+                entry = cache.entries[path]
+                program.summaries.update(entry.summaries)
+                program.events[path] = dict(entry.events)
+                program.cache_hits += 1
+            else:
+                program.cache_misses += 1
+
+        # Analyse the invalid set against the cached summaries.
+        invalid_functions = [
+            info.qualified_id
+            for path, infos in program.functions_by_file.items()
+            if path not in valid
+            for info in infos]
+        for fid in invalid_functions:
+            program.cfgs[fid] = build_cfg(
+                program.graph.functions[fid].node)
+        analyses = iterate_summaries(
+            invalid_functions, spec, program.graph,
+            program.summaries, program.cfgs)
+        for path, infos in program.functions_by_file.items():
+            if path in valid:
+                continue
+            file_events: Dict[str, FunctionEvents] = {}
+            for info in infos:
+                analysis = analyses.get(info.qualified_id)
+                if analysis is None:
+                    continue
+                file_events[info.qualified_id] = FunctionEvents(
+                    sink_hits=analysis.sink_hits,
+                    probe_hits=analysis.probe_hits,
+                    blocking_calls=analysis.blocking_calls)
+            program.events[path] = file_events
+
+        # Refresh the cache object with every file's current entry.
+        if cache is not None:
+            for path, infos in program.functions_by_file.items():
+                cache.put(path, FileEntry(
+                    source_hash=hashes[path],
+                    summaries={
+                        info.qualified_id:
+                            program.summaries[info.qualified_id]
+                        for info in infos
+                        if info.qualified_id in program.summaries},
+                    events=program.events.get(path, {})))
+            cache.last_run = (program.cache_hits,
+                              program.cache_misses)
+        return program
+
+    def _valid_files(self, hashes: Dict[str, str],
+                     cache: Optional[FlowCache]) -> Set[str]:
+        if cache is None or not cache.entries:
+            return set()
+        unchanged = {
+            path for path, digest in hashes.items()
+            if cache.get(path, digest) is not None}
+        # File-level dependency edges: caller-file -> callee-files.
+        file_of: Dict[str, str] = {}
+        for path, infos in self.functions_by_file.items():
+            for info in infos:
+                file_of[info.qualified_id] = path
+        deps: Dict[str, Set[str]] = {p: set() for p in hashes}
+        for caller, callees in self.graph.edges.items():
+            caller_file = file_of.get(caller)
+            if caller_file is None:
+                continue
+            for callee in callees:
+                callee_file = file_of.get(callee)
+                if callee_file is not None and \
+                        callee_file != caller_file:
+                    deps[caller_file].add(callee_file)
+        # Propagate invalidity callee -> caller to a fixpoint.
+        valid = set(unchanged)
+        changed = True
+        while changed:
+            changed = False
+            for path in list(valid):
+                if any(dep not in valid for dep in deps.get(path, ())):
+                    valid.discard(path)
+                    changed = True
+        return valid
+
+    # -- queries ------------------------------------------------------
+
+    def file_events(self, display_path: str) -> Dict[str, FunctionEvents]:
+        return self.events.get(display_path, {})
+
+    def functions_in(self, display_path: str) -> List[FunctionInfo]:
+        return self.functions_by_file.get(display_path, [])
+
+    def function(self, qualified_id: str) -> Optional[FunctionInfo]:
+        return self.graph.functions.get(qualified_id)

@@ -1,0 +1,567 @@
+"""The flow-sensitive rule family (HL004-flow, HL007, HL101-HL104).
+
+These rules consume the :class:`~repro.lint.flow.program.FlowProgram`
+built once per lint run — CFGs, the call graph, and converged
+interprocedural taint summaries — and exist to gate the two planes the
+roadmap is about to land: zone-sharded worker processes (shared
+mutable state, pickling) and the real-UDP asyncio transport (blocking
+calls, dropped coroutines).  DESIGN.md §12 has the rule table.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import (
+    FileContext,
+    Finding,
+    FlowRule,
+    register,
+)
+from repro.lint.flow.callgraph import FunctionInfo, module_name_for
+from repro.lint.flow.program import MODULE_FUNC, FlowProgram
+
+#: Directory segments that make up the shardable protocol plane —
+#: anything here runs inside zone worker processes once open item 1
+#: (ROADMAP) lands, so module-level mutable state is unshardable.
+_PROTOCOL_SCOPE = ("core", "netsim", "simulation", "scenario")
+
+_SINK_DESCRIPTIONS = {
+    "fstring": "interpolated into an f-string",
+    "logging": "passed to a logging call",
+    "repr": "passed to repr()",
+    "str.format": "passed to str.format()",
+    "exception": "passed into an exception message",
+}
+
+
+def _via_suffix(via: Tuple[str, ...]) -> str:
+    if not via:
+        return ""
+    chain = " -> ".join(f"{name}()" for name in via)
+    return f" (crosses {len(via)} function boundar" \
+           f"{'y' if len(via) == 1 else 'ies'}: via {chain})"
+
+
+def _own_nodes(root: ast.AST) -> Iterable[ast.AST]:
+    """Walk ``root`` without descending into nested function/class
+    definitions (those are analysed as their own functions)."""
+    stack = [root]
+    first = True
+    while stack:
+        node = stack.pop()
+        if not first and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                       ast.ClassDef)):
+            continue
+        first = False
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class SecretFlowRule(FlowRule):
+    """HL004: secret values must not reach an observable text sink —
+    now flow-sensitive and interprocedural.
+
+    The pre-flow HL004 matched secret-*named* identifiers at the sink;
+    this version tracks the taint itself, so a key returned from
+    ``kdf.py``, renamed twice, and f-stringed three calls later is
+    still caught, and a helper that logs its argument flags every call
+    site that passes it a secret.  (The legacy matcher survives as
+    :class:`repro.lint.rules.SecretLeakRule` for the regression test
+    pinning the coverage gap.)
+    """
+
+    rule_id = "HL004"
+    title = "secret value reaches a text sink (flow-tracked)"
+    rationale = ("Invariant I2/key hygiene: session and onion keys "
+                 "must never reach logs, f-strings, repr, or "
+                 "tracebacks — tracked through renames, data "
+                 "structures, and call boundaries.")
+
+    def check_flow(self, program: FlowProgram,
+                   contexts: Sequence[FileContext]) -> Iterable[Finding]:
+        for ctx in contexts:
+            for fid, events in sorted(
+                    program.file_events(ctx.display_path).items()):
+                for hit in events.sink_hits:
+                    if hit.label != "secret":
+                        continue
+                    sink = _SINK_DESCRIPTIONS.get(hit.kind, hit.kind)
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        message=(f"secret '{hit.origin}' {sink}"
+                                 f"{_via_suffix(hit.via)}"),
+                        path=ctx.display_path, line=hit.line,
+                        col=hit.col, severity=self.severity)
+
+
+@register
+class DeterminismTaintRule(FlowRule):
+    """HL007: every RNG must be seeded by a value that data-flows from
+    a seeded configuration (a ``seed`` parameter/field, a constant, or
+    another seeded RNG) — closing the HL002 gap for locally
+    constructed ``random.Random(x)`` where ``x`` is entropy."""
+
+    rule_id = "HL007"
+    title = "RNG not traceable to a seeded config"
+    rationale = ("Determinism contract: one seed reproduces a run "
+                 "only if every RNG's seed data-flows from the seeded "
+                 "SimConfig/scenario surface; os.urandom/time/uuid "
+                 "seeds (or untraceable ones) silently break replay.")
+
+    def check_flow(self, program: FlowProgram,
+                   contexts: Sequence[FileContext]) -> Iterable[Finding]:
+        for ctx in contexts:
+            for fid, events in sorted(
+                    program.file_events(ctx.display_path).items()):
+                for hit in events.probe_hits:
+                    if hit.probe != "rng":
+                        continue
+                    finding = self._judge(ctx, hit)
+                    if finding is not None:
+                        yield finding
+
+    def _judge(self, ctx: FileContext, hit) -> Optional[Finding]:
+        if not hit.arg_labels:
+            if hit.callee == "random.Random":
+                return None  # HL002 already owns the no-arg case
+            return Finding(
+                rule_id=self.rule_id,
+                message=(f"{hit.callee}() constructed without a seed "
+                         f"draws OS entropy; pass a seed derived from "
+                         f"the run's seeded config"),
+                path=ctx.display_path, line=hit.line, col=hit.col,
+                severity=self.severity)
+        labels = hit.arg_labels[0]
+        params = hit.arg_params[0] if hit.arg_params else ()
+        if "seeded" in labels or params:
+            # Seeded, or deferred to the call sites of the enclosing
+            # function (judged there with the caller's labels).
+            return None
+        if "nondet" in labels:
+            reason = ("is seeded from a nondeterministic source "
+                      "(entropy/clock/pid)")
+        else:
+            reason = ("has no data-flow path from a seeded config "
+                      "value (seed parameter, constant, or seeded RNG)")
+        return Finding(
+            rule_id=self.rule_id,
+            message=f"seed argument of {hit.callee}() {reason}",
+            path=ctx.display_path, line=hit.line, col=hit.col,
+            severity=self.severity)
+
+
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "sort", "reverse",
+}
+_MUTABLE_CONSTRUCTORS = {
+    "dict", "list", "set", "bytearray", "defaultdict", "deque",
+    "Counter", "OrderedDict",
+}
+
+
+def _constant_styled(name: str) -> bool:
+    stripped = name.strip("_")
+    return bool(stripped) and stripped == stripped.upper()
+
+
+@register
+class SharedMutableStateRule(FlowRule):
+    """HL101: no mutable module-level state reachable from protocol
+    code — it cannot be sharded across zone worker processes.
+
+    Module-level mutable containers in the protocol scope are flagged
+    when (a) any function in the scanned set mutates or rebinds them
+    (shared mutable state, the hard error), or (b) they are not
+    CONSTANT_STYLED (the naming convention that marks a module-level
+    container as a frozen lookup table, like the ``*_DISPATCH``
+    machines).  Frozen-by-convention constants stay legal until a
+    mutation is observed anywhere in the tree.
+    """
+
+    rule_id = "HL101"
+    title = "mutable module-level state in protocol code"
+    rationale = ("Zone sharding (ROADMAP item 1) forks the protocol "
+                 "plane into worker processes; module-level mutable "
+                 "state silently diverges per worker instead of being "
+                 "shared, so it must live on an instance that crosses "
+                 "the shard boundary explicitly.")
+    scope = _PROTOCOL_SCOPE
+
+    def check_flow(self, program: FlowProgram,
+                   contexts: Sequence[FileContext]) -> Iterable[Finding]:
+        bindings = self._collect_bindings(contexts)
+        if not bindings:
+            return
+        mutations = self._collect_mutations(program, set(bindings))
+        for (module, name), (ctx, node) in sorted(bindings.items()):
+            mutated_at = mutations.get((module, name))
+            if mutated_at is not None:
+                where, line = mutated_at
+                yield Finding(
+                    rule_id=self.rule_id,
+                    message=(f"module-level '{name}' is mutated from "
+                             f"{where}:{line}; shared mutable state "
+                             f"cannot be sharded across zone workers "
+                             f"— move it onto the loop/manager "
+                             f"instance"),
+                    path=ctx.display_path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    severity=self.severity)
+            elif not _constant_styled(name):
+                yield Finding(
+                    rule_id=self.rule_id,
+                    message=(f"module-level mutable '{name}' in "
+                             f"protocol code; make it CONSTANT_STYLED "
+                             f"and frozen, or move it onto an "
+                             f"instance that crosses the shard "
+                             f"boundary explicitly"),
+                    path=ctx.display_path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    severity=self.severity)
+
+    def _collect_bindings(
+            self, contexts: Sequence[FileContext],
+    ) -> Dict[Tuple[str, str], Tuple[FileContext, ast.stmt]]:
+        bindings: Dict[Tuple[str, str],
+                       Tuple[FileContext, ast.stmt]] = {}
+        for ctx in contexts:
+            module = module_name_for(ctx.path)
+            for node in ctx.tree.body:
+                target = None
+                if isinstance(node, ast.Assign) and \
+                        len(node.targets) == 1 and \
+                        isinstance(node.targets[0], ast.Name):
+                    target, value = node.targets[0].id, node.value
+                elif isinstance(node, ast.AnnAssign) and \
+                        isinstance(node.target, ast.Name) and \
+                        node.value is not None:
+                    target, value = node.target.id, node.value
+                else:
+                    continue
+                if target.startswith("__") and target.endswith("__"):
+                    continue  # __all__ and friends: read-only idiom
+                if self._is_mutable_value(value):
+                    bindings[(module, target)] = (ctx, node)
+        return bindings
+
+    @staticmethod
+    def _is_mutable_value(value: ast.expr) -> bool:
+        if isinstance(value, (ast.Dict, ast.List, ast.Set,
+                              ast.ListComp, ast.SetComp, ast.DictComp)):
+            return True
+        return (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in _MUTABLE_CONSTRUCTORS)
+
+    def _collect_mutations(
+            self, program: FlowProgram,
+            bindings: Set[Tuple[str, str]],
+    ) -> Dict[Tuple[str, str], Tuple[str, int]]:
+        """First observed mutation site per binding, looking at every
+        scanned file (a mutation of core state from anywhere counts)."""
+        mutations: Dict[Tuple[str, str], Tuple[str, int]] = {}
+
+        def record(key: Tuple[str, str], ctx: FileContext,
+                   node: ast.AST) -> None:
+            if key in bindings and key not in mutations:
+                mutations[key] = (ctx.display_path,
+                                  getattr(node, "lineno", 1))
+
+        # A file can only touch a binding whose name appears in its
+        # text (direct name, attribute access, or the import that
+        # created an alias) — skip the AST scan everywhere else.
+        names = {name for (_, name) in bindings}
+        for path, infos in sorted(
+                program.functions_by_file.items()):
+            if not infos or not any(
+                    name in infos[0].ctx.source for name in names):
+                continue
+            for info in infos:
+                globals_declared: Set[str] = set()
+                candidates: List[ast.AST] = []
+                for node in _own_nodes(info.node):
+                    if isinstance(node, ast.Global):
+                        globals_declared |= set(node.names)
+                    elif isinstance(node, (ast.Call, ast.Assign,
+                                           ast.AugAssign, ast.Delete)):
+                        candidates.append(node)
+                for node in candidates:
+                    self._scan_node(node, info, globals_declared,
+                                    record)
+        return mutations
+
+    def _scan_node(self, node: ast.AST, info: FunctionInfo,
+                   globals_declared: Set[str], record) -> None:
+        module = info.module
+        ctx = info.ctx
+
+        def resolve(base: ast.expr) -> Optional[Tuple[str, str]]:
+            if isinstance(base, ast.Name):
+                dotted = ctx.imports.aliases.get(base.id)
+                if dotted and "." in dotted:
+                    mod, _, name = dotted.rpartition(".")
+                    return (mod, name)
+                return (module, base.id)
+            if isinstance(base, ast.Attribute):
+                dotted = ctx.imports.qualified_name(base)
+                if dotted and "." in dotted:
+                    mod, _, name = dotted.rpartition(".")
+                    return (mod, name)
+            return None
+
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _MUTATING_METHODS:
+            key = resolve(node.func.value)
+            if key is not None:
+                record(key, ctx, node)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target] if isinstance(
+                           node, ast.AugAssign) else node.targets)
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    key = resolve(target.value)
+                    if key is not None:
+                        record(key, ctx, node)
+                elif isinstance(target, ast.Name) and \
+                        info.qualname != MODULE_FUNC and \
+                        target.id in globals_declared:
+                    record((module, target.id), ctx, node)
+
+
+@register
+class BlockingAsyncRule(FlowRule):
+    """HL102: no blocking calls inside ``async def`` — directly or
+    through any chain of scanned sync helpers."""
+
+    rule_id = "HL102"
+    title = "blocking call inside async def"
+    rationale = ("The asyncio transport plane (ROADMAP item 3) runs "
+                 "mixes/SPs/clients as cooperative coroutines; one "
+                 "time.sleep/sync-socket/subprocess call stalls every "
+                 "peer in the process and destroys the constant-rate "
+                 "wire image (I6).")
+
+    def check_flow(self, program: FlowProgram,
+                   contexts: Sequence[FileContext]) -> Iterable[Finding]:
+        for ctx in contexts:
+            events = program.file_events(ctx.display_path)
+            for info in program.functions_in(ctx.display_path):
+                if not info.is_async:
+                    continue
+                function_events = events.get(info.qualified_id)
+                if function_events is None:
+                    continue
+                for call in function_events.blocking_calls:
+                    via = (f" via {' -> '.join(n + '()' for n in call.via)}"
+                           if call.via else "")
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        message=(f"blocking call {call.callee}() "
+                                 f"inside async def "
+                                 f"{info.name}(){via}; use the "
+                                 f"asyncio equivalent (await "
+                                 f"asyncio.sleep, loop.sock_*, "
+                                 f"run_in_executor)"),
+                        path=ctx.display_path, line=call.line,
+                        col=call.col, severity=self.severity)
+
+
+@register
+class UnawaitedCoroutineRule(FlowRule):
+    """HL103: a bare call to an ``async def`` creates a coroutine and
+    drops it — the code never runs and Python only warns at GC time,
+    nondeterministically."""
+
+    rule_id = "HL103"
+    title = "un-awaited coroutine call"
+    rationale = ("A dropped coroutine is protocol logic that silently "
+                 "never executes (join never sent, chaff never "
+                 "scheduled); RuntimeWarning at GC time is "
+                 "nondeterministic and invisible to tests.")
+
+    def check_flow(self, program: FlowProgram,
+                   contexts: Sequence[FileContext]) -> Iterable[Finding]:
+        # The call graph already resolved every call site during its
+        # construction pass and marked the statement-level ones; keying
+        # off that index avoids re-walking every function body.  Outer
+        # functions also record their nested defs' calls, so dedup by
+        # location.
+        by_file: Dict[str, List] = {}
+        for site in program.graph.call_sites:
+            if not site.is_statement:
+                continue
+            callee = program.function(site.callee)
+            if callee is None or not callee.is_async:
+                continue
+            caller = program.function(site.caller)
+            if caller is None:
+                continue
+            by_file.setdefault(
+                caller.ctx.display_path, []).append((site, callee))
+        for ctx in contexts:
+            seen: Set[Tuple[int, int, str]] = set()
+            for site, callee in by_file.get(ctx.display_path, ()):
+                line = getattr(site.node, "lineno", 1)
+                col = getattr(site.node, "col_offset", 0) + 1
+                key = (line, col, site.callee)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Finding(
+                    rule_id=self.rule_id,
+                    message=(f"coroutine {callee.name}() is "
+                             f"called but never awaited; await "
+                             f"it or hand it to "
+                             f"asyncio.create_task/TaskGroup"),
+                    path=ctx.display_path, line=line, col=col,
+                    severity=self.severity)
+
+
+#: Annotation names that cannot cross a pickle boundary.
+_UNPICKLABLE_ANNOTATIONS = {
+    "Callable", "Lambda", "IO", "TextIO", "BinaryIO", "TextIOWrapper",
+    "BufferedReader", "BufferedWriter", "socket", "Socket", "Thread",
+    "Lock", "RLock", "Condition", "Event", "Semaphore",
+    "BoundedSemaphore", "Barrier", "Generator", "Coroutine",
+    "EventLoop", "AbstractEventLoop", "Task", "Future",
+}
+
+
+@register
+class ShardCrossingPicklableRule(FlowRule):
+    """HL104: dataclasses declared shard-crossing (decorated with
+    ``@shard_crossing`` or carrying ``__shard_crossing__ = True``)
+    must hold only picklable fields — no callables/lambdas, open
+    handles, sockets, locks, loops, or locally-defined classes."""
+
+    rule_id = "HL104"
+    title = "non-picklable field in a shard-crossing dataclass"
+    rationale = ("Zone sharding serialises these records between "
+                 "worker processes and the merge step; a lambda, "
+                 "open handle, or local class raises PicklingError "
+                 "at fan-out time, in production, not at review "
+                 "time.")
+
+    def check_flow(self, program: FlowProgram,
+                   contexts: Sequence[FileContext]) -> Iterable[Finding]:
+        for ctx in contexts:
+            # Cheap textual gate: both marker forms (the decorator and
+            # the ``__shard_crossing__`` dunder) contain this substring,
+            # so files without it cannot declare a shard-crossing class
+            # and skip the AST walk entirely.
+            if "shard_crossing" not in ctx.source:
+                continue
+            local_classes: Optional[Set[str]] = None
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef) and \
+                        self._is_shard_crossing(ctx, node):
+                    if local_classes is None:
+                        local_classes = self._local_classes(ctx)
+                    yield from self._check_class(ctx, node,
+                                                 local_classes)
+
+    @staticmethod
+    def _local_classes(ctx: FileContext) -> Set[str]:
+        """Names of classes defined inside functions (unpicklable:
+        pickle resolves classes by module attribute path)."""
+        names: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.ClassDef):
+                        names.add(sub.name)
+        return names
+
+    def _is_shard_crossing(self, ctx: FileContext,
+                           node: ast.ClassDef) -> bool:
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            name = ctx.imports.qualified_name(target)
+            if name is None and isinstance(target, ast.Name):
+                name = target.id
+            if name is None and isinstance(target, ast.Attribute):
+                name = target.attr
+            if name and name.split(".")[-1] == "shard_crossing":
+                return True
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and \
+                    len(stmt.targets) == 1 and \
+                    isinstance(stmt.targets[0], ast.Name) and \
+                    stmt.targets[0].id == "__shard_crossing__" and \
+                    isinstance(stmt.value, ast.Constant) and \
+                    stmt.value.value is True:
+                return True
+        return False
+
+    def _check_class(self, ctx: FileContext, node: ast.ClassDef,
+                     local_classes: Set[str]) -> Iterable[Finding]:
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign) or \
+                    not isinstance(stmt.target, ast.Name):
+                continue
+            field_name = stmt.target.id
+            bad = self._unpicklable_annotation(stmt.annotation,
+                                               local_classes)
+            if bad is not None:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    message=(f"field '{field_name}' of shard-crossing "
+                             f"dataclass {node.name} is typed "
+                             f"'{bad}', which cannot cross a pickle "
+                             f"boundary; carry an id/bytes form and "
+                             f"rebuild on the far side"),
+                    path=ctx.display_path, line=stmt.lineno,
+                    col=stmt.col_offset + 1, severity=self.severity)
+                continue
+            if stmt.value is not None and \
+                    self._has_lambda_default(stmt.value):
+                yield Finding(
+                    rule_id=self.rule_id,
+                    message=(f"field '{field_name}' of shard-crossing "
+                             f"dataclass {node.name} defaults to a "
+                             f"lambda, which cannot cross a pickle "
+                             f"boundary"),
+                    path=ctx.display_path, line=stmt.lineno,
+                    col=stmt.col_offset + 1, severity=self.severity)
+
+    @staticmethod
+    def _unpicklable_annotation(annotation: ast.expr,
+                                local_classes: Set[str]) -> Optional[str]:
+        for node in ast.walk(annotation):
+            name = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+            elif isinstance(node, ast.Constant) and \
+                    isinstance(node.value, str):
+                name = node.value.split("[")[0].split(".")[-1]
+            if name is None:
+                continue
+            if name in _UNPICKLABLE_ANNOTATIONS or \
+                    name in local_classes:
+                return name
+        return None
+
+    @staticmethod
+    def _has_lambda_default(value: ast.expr) -> bool:
+        if isinstance(value, ast.Lambda):
+            return True
+        # field(default_factory=lambda: ...) is fine: instances hold
+        # the factory's *result*, which is what crosses the boundary.
+        if isinstance(value, ast.Call) and \
+                isinstance(value.func, ast.Name) and \
+                value.func.id == "field":
+            return False
+        return any(isinstance(sub, ast.Lambda)
+                   for sub in ast.walk(value))

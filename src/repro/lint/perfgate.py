@@ -1,0 +1,66 @@
+"""The flow-analysis cost gate: ``python -m repro.lint.perfgate``.
+
+Times a syntactic-only lint of the given paths (``flow=False`` — the
+pre-herdflow behaviour) against a full run on a warm summary cache,
+prints both, and exits nonzero when the dataflow pass more than
+doubles the floor.  CI runs this after seeding ``.herdlint-cache.json``
+so the measured run is the steady-state cost developers actually pay,
+not a cold-cache worst case.
+
+This deliberately reads the wall clock: it *measures* the linter, it
+is not part of any seeded simulation (and lives outside herdlint's
+HL001 scope).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.lint.engine import LintConfig, run_lint
+
+DEFAULT_MAX_RATIO = 2.0
+
+
+def measure(paths: List[str], cache_path: str) -> tuple:
+    """(pre-flow seconds, full-flow seconds, LintResult of the flow
+    run).  The flow run uses the summary cache at ``cache_path``."""
+    t0 = time.perf_counter()
+    run_lint(paths, LintConfig(flow=False))
+    floor = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    result = run_lint(paths, LintConfig(cache_path=cache_path))
+    flow = time.perf_counter() - t0
+    return floor, flow, result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.perfgate",
+        description="fail when the herdflow dataflow pass exceeds "
+                    "MAX_RATIO x the syntactic-only lint time")
+    parser.add_argument("paths", nargs="*", default=["src"])
+    parser.add_argument("--cache", default=".herdlint-cache.json")
+    parser.add_argument("--max-ratio", type=float,
+                        default=DEFAULT_MAX_RATIO)
+    args = parser.parse_args(argv)
+
+    floor, flow, result = measure(args.paths, args.cache)
+    ratio = flow / floor if floor > 0 else float("inf")
+    print(f"herdlint perfgate: pre-flow floor {floor:.2f}s, "
+          f"warm-cache flow {flow:.2f}s, ratio {ratio:.2f}x "
+          f"(limit {args.max_ratio:.1f}x; cache "
+          f"{result.flow_cache_hits} reused / "
+          f"{result.flow_cache_misses} analysed)")
+    if ratio > args.max_ratio:
+        print("herdlint perfgate: FAIL — dataflow pass is too slow",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

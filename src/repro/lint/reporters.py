@@ -12,7 +12,7 @@ from typing import Dict, List
 
 from repro.lint.engine import Finding, LintResult, all_rules
 
-HERDLINT_VERSION = "1.0.0"
+HERDLINT_VERSION = "2.0.0"
 
 
 def render_text(result: LintResult, show_suppressed: bool = False) -> str:
@@ -20,14 +20,26 @@ def render_text(result: LintResult, show_suppressed: bool = False) -> str:
     for finding in result.findings:
         if finding.suppressed and not show_suppressed:
             continue
-        marker = " (suppressed)" if finding.suppressed else ""
+        if finding.suppressed:
+            marker = " (suppressed)"
+        elif finding.baselined:
+            marker = " (baselined)"
+        elif finding.severity == "note":
+            marker = " (note)"
+        else:
+            marker = ""
         lines.append(f"{finding.path}:{finding.line}:{finding.col}: "
                      f"{finding.rule_id} {finding.message}{marker}")
     active = len(result.active)
+    extras = [f"{len(result.suppressed)} suppressed"]
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.notes:
+        extras.append(f"{len(result.notes)} notes")
+    extras.append(f"{result.files_scanned} files scanned")
     lines.append(f"herdlint: {active} finding"
                  f"{'' if active == 1 else 's'} "
-                 f"({len(result.suppressed)} suppressed, "
-                 f"{result.files_scanned} files scanned)")
+                 f"({', '.join(extras)})")
     return "\n".join(lines) + "\n"
 
 
@@ -40,6 +52,7 @@ def _finding_dict(finding: Finding) -> Dict[str, object]:
         "col": finding.col,
         "severity": finding.severity,
         "suppressed": finding.suppressed,
+        "baselined": finding.baselined,
     }
 
 
@@ -53,6 +66,12 @@ def render_json(result: LintResult) -> str:
             "total": len(result.findings),
             "active": len(result.active),
             "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+            "notes": len(result.notes),
+        },
+        "flow_cache": {
+            "hits": result.flow_cache_hits,
+            "misses": result.flow_cache_misses,
         },
     }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
@@ -82,6 +101,8 @@ def render_sarif(result: LintResult) -> str:
         }
         if finding.suppressed:
             entry["suppressions"] = [{"kind": "inSource"}]
+        elif finding.baselined:
+            entry["suppressions"] = [{"kind": "external"}]
         results.append(entry)
     sarif = {
         "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"

@@ -14,6 +14,7 @@ import re
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.engine import (
+    SEVERITY_NOTE,
     FileContext,
     Finding,
     ProjectRule,
@@ -231,10 +232,18 @@ def _secret_names_in(node: ast.AST, in_crypto: bool) -> List[str]:
     return names
 
 
-@register
 class SecretLeakRule(Rule):
-    """HL004: key/secret-named values must not flow into log calls,
-    f-strings, ``repr``/``format``, or exception messages."""
+    """HL004 (legacy matcher): key/secret-named values must not flow
+    into log calls, f-strings, ``repr``/``format``, or exception
+    messages.
+
+    No longer registered: superseded by the flow-sensitive
+    :class:`repro.lint.flow.rules.SecretFlowRule`, which tracks the
+    taint through renames and call boundaries instead of matching
+    names at the sink.  The class is kept so the regression suite can
+    pin the exact coverage gap the flow version closes
+    (``tests/test_lint_flow.py``).
+    """
 
     rule_id = "HL004"
     title = "secret value formatted into text"
@@ -399,6 +408,22 @@ class WireExhaustivenessRule(ProjectRule):
                   for node, name, keys in _dispatch_tables(ctx)]
         if not tables:
             ctx = wire_contexts[0]
+            if self._is_partial_tree(ctx, contexts):
+                # Exhaustiveness is a whole-tree property; on a
+                # partial scan (single file, --changed subset) the
+                # absence of a dispatch table says nothing.  Explain
+                # instead of failing.
+                yield Finding(
+                    rule_id=self.rule_id,
+                    message=(f"partial scan: {len(message_names)} wire "
+                             f"message types are defined here but "
+                             f"exhaustiveness can only be checked "
+                             f"against the whole tree (sibling "
+                             f"modules were not scanned); lint the "
+                             f"full tree to enforce HL006"),
+                    path=ctx.display_path, line=1, col=1,
+                    severity=SEVERITY_NOTE)
+                return
             yield Finding(
                 rule_id=self.rule_id,
                 message=(f"no *_DISPATCH table in the scanned files "
@@ -416,3 +441,16 @@ class WireExhaustivenessRule(ProjectRule):
                     f"dispatch table {name} does not handle "
                     f"{', '.join(missing)}; add handlers or explicit "
                     f"REJECT entries")
+
+    @staticmethod
+    def _is_partial_tree(wire_ctx: FileContext,
+                         contexts: Sequence[FileContext]) -> bool:
+        """True when ``wire.py``'s own package has sibling modules
+        that are not in the scanned set — the dispatch tables may
+        simply live in files we were not asked to look at."""
+        scanned = {c.path.resolve() for c in contexts}
+        try:
+            siblings = list(wire_ctx.path.resolve().parent.glob("*.py"))
+        except OSError:
+            return False
+        return any(s.resolve() not in scanned for s in siblings)

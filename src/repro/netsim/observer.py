@@ -16,10 +16,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
+from repro.core.sharding import shard_crossing
 
+
+@shard_crossing
 @dataclass(frozen=True)
 class Observation:
-    """One packet sighting on a tapped link."""
+    """One packet sighting on a tapped link.
+
+    Declared shard-crossing: zone workers stream their observation
+    logs back to the merge step, so every field must survive pickling
+    (HL104 enforces this statically)."""
 
     time: float
     size: int

@@ -88,8 +88,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         engines = "/".join(executions)
         head = reports[0]
         # The determinism key is a public content hash, not key
-        # material — bound to a neutral name so HL004's secret-name
-        # heuristic doesn't misfire on the f-string.
+        # material (HL004's taint source excludes determinism_*).
         fingerprint = head.determinism_key[:12]
         print(f"{verdict:4s} {scenario.name:24s} [{engines}] "
               f"survival={head.survival['call_survival_rate']:.2f} "

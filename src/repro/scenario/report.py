@@ -201,8 +201,7 @@ class ScenarioReport(RunReport):
         verdict = "passed" if self.passed else \
             f"FAILED ({len(self.criteria_failures) + len(self.invariant_violations)})"
         # The determinism key is a public content hash, not key
-        # material — bound to a neutral name so HL004's secret-name
-        # heuristic doesn't misfire on the f-string.
+        # material (HL004's taint source excludes determinism_*).
         fingerprint = self.determinism_key[:12]
         return (f"ScenarioReport(name={self.name!r}, "
                 f"execution={self.execution!r}, seed={self.seed}, "

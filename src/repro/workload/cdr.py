@@ -132,4 +132,7 @@ class CallTrace:
         ])
 
     def total_call_seconds(self) -> float:
-        return float(np.sum(self._ends - self._starts))
+        # Sum the stored durations rather than end-start: the rounded
+        # subtraction loses the low bits of a short call at a large
+        # timestamp (catastrophic cancellation).
+        return float(sum(r.duration for r in self.records))

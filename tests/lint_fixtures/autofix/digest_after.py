@@ -1,0 +1,22 @@
+"""HL003 autofix fixture (input): ==/!= on digests, no hmac import."""
+
+import hashlib
+import hmac
+
+
+def verify(message, expected_mac):
+    digest = hashlib.sha256(message).digest()
+    if hmac.compare_digest(digest, expected_mac):
+        return True
+    return False
+
+
+def reject(message, tag):
+    computed_tag = hashlib.sha256(message).hexdigest()
+    if (not hmac.compare_digest(computed_tag, tag)):
+        raise ValueError("bad tag")
+    return True
+
+
+def compare_inline(payload, mac):
+    return hmac.compare_digest(hashlib.sha256(payload).digest(), mac)

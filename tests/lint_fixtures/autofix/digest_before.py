@@ -1,0 +1,21 @@
+"""HL003 autofix fixture (input): ==/!= on digests, no hmac import."""
+
+import hashlib
+
+
+def verify(message, expected_mac):
+    digest = hashlib.sha256(message).digest()
+    if digest == expected_mac:
+        return True
+    return False
+
+
+def reject(message, tag):
+    computed_tag = hashlib.sha256(message).hexdigest()
+    if computed_tag != tag:
+        raise ValueError("bad tag")
+    return True
+
+
+def compare_inline(payload, mac):
+    return hashlib.sha256(payload).digest() == mac

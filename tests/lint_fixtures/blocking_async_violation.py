@@ -1,0 +1,23 @@
+"""HL102 violation fixture: blocking calls on the event loop —
+directly and through a sync helper."""
+
+import subprocess
+import time
+
+
+async def poll_peers():
+    time.sleep(0.1)
+    return True
+
+
+async def shell_out(cmd):
+    subprocess.run(cmd)
+
+
+def _spin():
+    time.sleep(1.0)
+
+
+async def relay_round():
+    _spin()
+    return None

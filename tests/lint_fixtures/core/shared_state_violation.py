@@ -1,0 +1,20 @@
+"""HL101 violation fixture: mutable module-level state in protocol
+scope — mutated tables and non-constant-styled containers."""
+
+_pending = {}
+
+SESSIONS = dict()
+
+route_cache = []
+
+
+def enqueue(message_id, message):
+    _pending[message_id] = message
+
+
+def register(session_id, session):
+    SESSIONS.update({session_id: session})
+
+
+def remember(route):
+    route_cache.append(route)

@@ -1,0 +1,27 @@
+"""HL007 clean fixture: every RNG seed data-flows from a seeded
+surface — a seed parameter, a constant, a config field, or another
+seeded RNG."""
+
+import random
+
+import numpy as np
+
+
+def seeded(seed):
+    return random.Random(seed)
+
+
+def from_config(cfg):
+    return random.Random(cfg.seed)
+
+
+def pinned():
+    return random.Random(1234)
+
+
+def split(seed, index):
+    return random.Random(seed + index * 1000)
+
+
+def child_stream(rng):
+    return np.random.default_rng(rng.randrange(2 ** 32))

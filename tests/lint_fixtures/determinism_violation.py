@@ -1,0 +1,28 @@
+"""HL007 violation fixture: RNG seeds that cannot be traced to a
+seeded config — OS entropy, the clock, or an opaque provenance."""
+
+import os
+import random
+import time
+
+import numpy as np
+from external_util import transform
+
+
+def entropy_rng():
+    entropy = os.urandom(8)
+    return random.Random(entropy)
+
+
+def clock_rng():
+    stamp = time.time_ns()
+    return random.Random(stamp)
+
+
+def opaque_rng(payload):
+    material = transform(payload)
+    return random.Random(material)
+
+
+def numpy_default():
+    return np.random.default_rng()

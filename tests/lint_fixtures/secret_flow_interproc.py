@@ -1,0 +1,26 @@
+"""Interprocedural HL004 fixture: a session key renamed to a neutral
+name and passed through two helpers before reaching a log sink.
+
+The pre-flow, name-matching HL004 sees ``logger.info(..., value)`` —
+no secret-shaped name at the sink — and stays silent.  The flow
+version tracks the taint from ``session_key`` through ``token`` into
+``relay`` and ``emit`` and flags the call in ``derive``."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def derive():
+    session_key = b"\x00" * 32
+    token = session_key
+    return relay(token)
+
+
+def relay(material):
+    return emit(material)
+
+
+def emit(value):
+    logger.info("channel state %s", value)
+    return len(value)

@@ -1,0 +1,22 @@
+"""HL104 clean fixture: picklable fields only on declared classes;
+undeclared classes may hold anything."""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.sharding import shard_crossing
+
+
+@shard_crossing
+@dataclass(frozen=True)
+class ZoneSample:
+    zone_id: str
+    sizes: List[int] = field(default_factory=list)
+    weights: Dict[str, float] = field(default_factory=dict)
+    window: Optional[Tuple[float, float]] = None
+
+
+@dataclass
+class LoopLocal:
+    # Not declared shard-crossing: free to hold anything.
+    on_drop: Callable[[str], None] = print

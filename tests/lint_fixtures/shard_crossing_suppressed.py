@@ -1,0 +1,13 @@
+"""HL104 suppressed fixture."""
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.sharding import shard_crossing
+
+
+@shard_crossing
+@dataclass
+class WaivedRecord:
+    zone_id: str
+    on_drop: Callable[[str], None]  # herdlint: disable=HL104

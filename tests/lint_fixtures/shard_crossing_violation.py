@@ -1,0 +1,30 @@
+"""HL104 violation fixture: shard-crossing dataclasses holding fields
+that cannot cross a pickle boundary."""
+
+from dataclasses import dataclass
+from typing import Callable, TextIO
+
+from repro.core.sharding import shard_crossing
+
+
+def make_ephemeral():
+    class Ephemeral:
+        pass
+
+    return Ephemeral
+
+
+@shard_crossing
+@dataclass
+class HandoffRecord:
+    zone_id: str
+    on_drop: Callable[[str], None]
+    log_handle: TextIO
+
+
+@dataclass
+class MergeInput:
+    __shard_crossing__ = True
+
+    payload: "Ephemeral"
+    render: object = lambda value: value

@@ -1,0 +1,18 @@
+"""HL103 clean fixture: every coroutine is awaited, scheduled, or run
+by the loop entry point."""
+
+import asyncio
+
+
+async def send_join(node):
+    return node
+
+
+async def run_protocol(node):
+    await send_join(node)
+    task = asyncio.create_task(send_join(node))
+    return await task
+
+
+def entry_point(node):
+    asyncio.run(run_protocol(node))

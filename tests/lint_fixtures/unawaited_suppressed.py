@@ -1,0 +1,9 @@
+"""HL103 suppressed fixture."""
+
+
+async def send_join(node):
+    return node
+
+
+async def run_protocol(node):
+    send_join(node)  # herdlint: disable=HL103

@@ -1,0 +1,15 @@
+"""HL103 violation fixture: coroutines called and dropped — the body
+never runs and Python only warns at GC time."""
+
+
+async def send_join(node):
+    return node
+
+
+async def run_protocol(node):
+    send_join(node)
+    return True
+
+
+def kickoff(node):
+    send_join(node)

@@ -1,0 +1,78 @@
+"""`repro lint --fix` tests: the HL003 digest-comparison autofix is
+byte-exact against the before/after fixture pair, idempotent, and
+wired through the CLI."""
+
+import shutil
+from pathlib import Path
+
+from repro.lint import LintConfig, run_lint
+from repro.lint.cli import main as lint_main
+from repro.lint.fixes import fix_source
+
+FIXTURES = Path(__file__).parent / "lint_fixtures" / "autofix"
+BEFORE = FIXTURES / "digest_before.py"
+AFTER = FIXTURES / "digest_after.py"
+
+
+def test_fix_matches_golden_output():
+    fixed, count = fix_source(BEFORE.read_text(encoding="utf-8"))
+    assert count == 3
+    assert fixed == AFTER.read_text(encoding="utf-8")
+
+
+def test_fix_is_idempotent():
+    once, _ = fix_source(BEFORE.read_text(encoding="utf-8"))
+    twice, count = fix_source(once)
+    assert count == 0
+    assert twice == once
+
+
+def test_fixed_source_is_hl003_clean(tmp_path):
+    fixed, _ = fix_source(BEFORE.read_text(encoding="utf-8"))
+    target = tmp_path / "fixed.py"
+    target.write_text(fixed, encoding="utf-8")
+    result = run_lint([str(target)], LintConfig(select=("HL003",)))
+    assert result.findings == []
+
+
+def test_fix_leaves_clean_files_untouched(tmp_path):
+    source = '"""No digests here."""\n\nx = 1\nassert x == 1\n'
+    fixed, count = fix_source(source)
+    assert count == 0
+    assert fixed == source
+
+
+def test_fix_skips_chained_comparisons():
+    source = "ok = first_mac == second_mac == third_mac\n"
+    fixed, count = fix_source(source)
+    assert count == 0
+    assert fixed == source
+
+
+def test_fix_preserves_none_guards():
+    source = "missing = mac == None\n"
+    fixed, count = fix_source(source)
+    assert count == 0
+
+
+def test_fix_reuses_existing_hmac_import():
+    source = ("import hmac\n"
+              "\n"
+              "def check(mac, expected_mac):\n"
+              "    return mac == expected_mac\n")
+    fixed, count = fix_source(source)
+    assert count == 1
+    assert fixed.count("import hmac") == 1
+    assert "hmac.compare_digest(mac, expected_mac)" in fixed
+
+
+def test_cli_fix_rewrites_in_place_and_gates_remainder(tmp_path, capsys):
+    target = tmp_path / "digest_before.py"
+    shutil.copy(BEFORE, target)
+    # After fixing, the file is clean: exit 0.
+    assert lint_main([str(target), "--fix",
+                      "--select", "HL003"]) == 0
+    out = capsys.readouterr().out
+    assert "fixed 3 digest comparisons" in out
+    assert target.read_text(encoding="utf-8") == \
+        AFTER.read_text(encoding="utf-8")

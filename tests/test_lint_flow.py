@@ -1,0 +1,490 @@
+"""herdflow tests: CFG construction, taint propagation through the
+fixpoint, interprocedural summaries, the content-hash cache, and the
+regression pinning what the flow HL004 catches that the legacy
+name-matcher misses."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint import LintConfig, run_lint
+from repro.lint.engine import FileContext, ImportMap, SuppressionIndex
+from repro.lint.flow.cfg import HeaderStmt, build_cfg
+from repro.lint.rules import SecretLeakRule
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def _cfg(source):
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    return build_cfg(func)
+
+
+def _edges(cfg):
+    return {(b.block_id, s)
+            for b in cfg.blocks.values() for s in b.successors}
+
+
+# -- CFG construction -------------------------------------------------
+
+
+def test_cfg_straight_line_is_single_block():
+    cfg = _cfg("""
+        def f(x):
+            y = x + 1
+            z = y * 2
+            return z
+    """)
+    reachable = cfg.reachable_blocks()
+    # entry holds all three statements, then the exit.
+    statements = [s for bid in reachable
+                  for s in cfg.blocks[bid].statements]
+    assert len(statements) == 3
+    assert cfg.exit in cfg.blocks[cfg.entry].successors
+
+
+def test_cfg_if_else_branches_and_rejoin():
+    cfg = _cfg("""
+        def f(flag):
+            if flag:
+                x = 1
+            else:
+                x = 2
+            return x
+    """)
+    entry = cfg.blocks[cfg.entry]
+    assert isinstance(entry.statements[-1], HeaderStmt)
+    assert entry.statements[-1].kind == "if"
+    assert len(entry.successors) == 2
+    # Both arms flow into the same join block.
+    joins = {succ
+             for arm in entry.successors
+             for succ in cfg.blocks[arm].successors}
+    assert len(joins) == 1
+    (join,) = joins
+    # The join holds the return and leads to the exit.
+    assert cfg.exit in cfg.blocks[join].successors
+
+
+def test_cfg_while_loop_has_back_edge_and_exit():
+    cfg = _cfg("""
+        def f(n):
+            total = 0
+            while n > 0:
+                total += n
+                n -= 1
+            return total
+    """)
+    headers = [b for b in cfg.blocks.values()
+               if any(isinstance(s, HeaderStmt) and s.kind == "while"
+                      for s in b.statements)]
+    assert len(headers) == 1
+    header = headers[0]
+    # Loop header branches two ways: body and loop exit.
+    assert len(header.successors) == 2
+    # Some body block loops back to the header.
+    assert any((bid, header.block_id) in _edges(cfg)
+               for bid in header.successors)
+
+
+def test_cfg_break_jumps_to_loop_exit():
+    cfg = _cfg("""
+        def f(items):
+            for item in items:
+                if item:
+                    break
+            return items
+    """)
+    edges = _edges(cfg)
+    headers = [b.block_id for b in cfg.blocks.values()
+               if any(isinstance(s, HeaderStmt) and s.kind == "for"
+                      for s in b.statements)]
+    (header,) = headers
+    # The break block reaches a block the header also reaches (the
+    # loop exit), without going back through the header.
+    break_blocks = [b.block_id for b in cfg.blocks.values()
+                    if any(isinstance(s, ast.Break)
+                           for s in b.statements)]
+    assert break_blocks
+    (break_block,) = break_blocks
+    assert set(cfg.blocks[break_block].successors) & \
+        set(cfg.blocks[header].successors)
+    assert (break_block, header) not in edges
+
+
+def test_cfg_try_except_handler_reachable_from_body():
+    cfg = _cfg("""
+        def f(x):
+            try:
+                y = risky(x)
+            except ValueError:
+                y = 0
+            return y
+    """)
+    # The block holding the risky call must have >1 successor: the
+    # normal path and the handler.
+    call_blocks = [b for b in cfg.blocks.values()
+                   if any(isinstance(s, ast.Assign)
+                          and isinstance(s.value, ast.Call)
+                          for s in b.statements)]
+    assert call_blocks
+    assert all(len(b.successors) >= 2 for b in call_blocks)
+    # Both paths rejoin before the return.
+    returns = [b for b in cfg.blocks.values()
+               if any(isinstance(s, ast.Return) for s in b.statements)]
+    assert len(returns) == 1
+    preds = cfg.predecessors[returns[0].block_id]
+    assert len(preds) >= 1
+
+
+def test_cfg_with_header_is_materialised():
+    cfg = _cfg("""
+        def f(path):
+            with open(path) as handle:
+                data = handle.read()
+            return data
+    """)
+    kinds = [s.kind for b in cfg.blocks.values()
+             for s in b.statements if isinstance(s, HeaderStmt)]
+    assert kinds == ["with"]
+
+
+def test_cfg_code_after_return_is_unreachable():
+    cfg = _cfg("""
+        def f(x):
+            return x
+            y = 1
+    """)
+    reachable = set(cfg.reachable_blocks())
+    parked = [b.block_id for b in cfg.blocks.values()
+              if any(isinstance(s, ast.Assign) for s in b.statements)]
+    assert parked
+    assert not set(parked) & reachable
+
+
+# -- taint propagation ------------------------------------------------
+
+
+def _lint_source(tmp_path, source, select=("HL004",), name="mod.py"):
+    target = tmp_path / name
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_lint([str(target)], LintConfig(select=tuple(select)))
+
+
+def test_taint_joins_at_merge_points(tmp_path):
+    """A value that is secret on only one branch is secret after the
+    join — the lattice join is a union, not an intersection."""
+    result = _lint_source(tmp_path, """
+        import logging
+
+        logger = logging.getLogger(__name__)
+
+        def leak(session_key, flag):
+            if flag:
+                x = session_key
+            else:
+                x = b"public-banner"
+            logger.info("state %s", x)
+    """)
+    assert [f.rule_id for f in result.active] == ["HL004"]
+
+
+def test_sanitizer_kills_taint(tmp_path):
+    """len()/bool() return no key material: their results are clean
+    even when the argument was secret."""
+    result = _lint_source(tmp_path, """
+        import logging
+
+        logger = logging.getLogger(__name__)
+
+        def fine(session_key):
+            n = len(session_key)
+            logger.info("key length %d", n)
+            return n
+    """)
+    assert result.findings == []
+
+
+def test_taint_flows_through_renames_and_containers(tmp_path):
+    result = _lint_source(tmp_path, """
+        def leak(session_key):
+            alias = session_key
+            wrapped = [alias]
+            return f"state={wrapped}"
+    """)
+    assert [f.rule_id for f in result.active] == ["HL004"]
+
+
+def test_loop_taint_reaches_fixpoint(tmp_path):
+    """Taint introduced on iteration N must be visible on iteration
+    N+1 — requires iterating the loop body to a fixpoint."""
+    result = _lint_source(tmp_path, """
+        import logging
+
+        logger = logging.getLogger(__name__)
+
+        def leak(session_key, rounds):
+            x = b"clean"
+            for _ in range(rounds):
+                logger.info("round %s", x)
+                x = session_key
+    """)
+    assert [f.rule_id for f in result.active] == ["HL004"]
+
+
+# -- interprocedural analysis ----------------------------------------
+
+
+INTERPROC = str(FIXTURES / "secret_flow_interproc.py")
+
+
+def _legacy_findings(path):
+    source = Path(path).read_text(encoding="utf-8")
+    tree = ast.parse(source)
+    ctx = FileContext(path=Path(path), display_path=str(path),
+                      source=source, tree=tree,
+                      imports=ImportMap(tree),
+                      suppressions=SuppressionIndex(source))
+    return list(SecretLeakRule().check_file(ctx))
+
+
+def test_flow_hl004_catches_what_the_name_matcher_missed():
+    """The acceptance-criteria regression: a secret crossing two
+    function boundaries into a log sink is invisible to the legacy
+    name-at-the-sink matcher and flagged by the flow rule."""
+    assert _legacy_findings(INTERPROC) == []
+
+    result = run_lint([INTERPROC], LintConfig(select=("HL004",)))
+    assert len(result.active) == 1
+    (finding,) = result.active
+    assert "session_key" in finding.message
+    assert "crosses 2 function boundaries" in finding.message
+    assert "relay" in finding.message and "emit" in finding.message
+
+
+def test_flow_hl004_still_matches_legacy_fixture_expectations():
+    """On the single-function fixture corpus the flow rule reports a
+    superset of the legacy matcher's findings."""
+    violation = str(FIXTURES / "secret_log_violation.py")
+    legacy = {(f.line, f.rule_id) for f in _legacy_findings(violation)}
+    flow = {(f.line, f.rule_id)
+            for f in run_lint([violation],
+                              LintConfig(select=("HL004",))).active}
+    assert legacy <= flow
+
+
+def test_param_sink_fires_once_per_call_site(tmp_path):
+    result = _lint_source(tmp_path, """
+        def log_it(value):
+            return f"v={value}"
+
+        def one(session_key):
+            return log_it(session_key)
+
+        def two(other_secret):
+            return log_it(other_secret)
+
+        def harmless(banner):
+            return log_it(banner)
+    """)
+    assert len(result.active) == 2
+    assert {f.rule_id for f in result.active} == {"HL004"}
+
+
+# -- summary cache ----------------------------------------------------
+
+
+def _write(tmp_path, name, source):
+    (tmp_path / name).write_text(textwrap.dedent(source),
+                                 encoding="utf-8")
+
+
+def _lint_dir(tmp_path, cache):
+    return run_lint([str(tmp_path)], LintConfig(
+        select=("HL004",), cache_path=str(cache)))
+
+
+def test_cache_hits_on_unchanged_tree(tmp_path):
+    _write(tmp_path, "util.py", """
+        def describe(value):
+            return f"v={value}"
+    """)
+    _write(tmp_path, "caller.py", """
+        from util import describe
+
+        def leak(session_key):
+            return describe(session_key)
+    """)
+    cache = tmp_path / "cache.json"
+    cold = _lint_dir(tmp_path, cache)
+    assert cold.flow_cache_misses == 2 and cold.flow_cache_hits == 0
+    assert len(cold.active) == 1
+
+    warm = _lint_dir(tmp_path, cache)
+    assert warm.flow_cache_hits == 2 and warm.flow_cache_misses == 0
+    # Cached events reproduce the identical findings.
+    assert [(f.path, f.line, f.message) for f in warm.active] == \
+        [(f.path, f.line, f.message) for f in cold.active]
+
+
+def test_editing_a_callee_invalidates_its_callers(tmp_path):
+    """caller.py is byte-identical across runs, but the edit to
+    util.py must re-analyse it (summaries flow callee -> caller) and
+    clear the finding."""
+    _write(tmp_path, "util.py", """
+        def describe(value):
+            return f"v={value}"
+    """)
+    _write(tmp_path, "caller.py", """
+        from util import describe
+
+        def leak(session_key):
+            return describe(session_key)
+    """)
+    cache = tmp_path / "cache.json"
+    assert len(_lint_dir(tmp_path, cache).active) == 1
+
+    _write(tmp_path, "util.py", """
+        def describe(value):
+            return "opaque"
+    """)
+    after = _lint_dir(tmp_path, cache)
+    assert after.active == []
+    # Both files re-analysed: the callee changed on disk, the caller
+    # transitively.
+    assert after.flow_cache_misses == 2
+
+
+def test_editing_an_unrelated_file_keeps_neighbours_cached(tmp_path):
+    _write(tmp_path, "util.py", """
+        def describe(value):
+            return f"v={value}"
+    """)
+    _write(tmp_path, "island.py", """
+        def standalone():
+            return 7
+    """)
+    cache = tmp_path / "cache.json"
+    _lint_dir(tmp_path, cache)
+    _write(tmp_path, "island.py", """
+        def standalone():
+            return 8
+    """)
+    warm = _lint_dir(tmp_path, cache)
+    assert warm.flow_cache_hits == 1   # util.py untouched
+    assert warm.flow_cache_misses == 1
+
+
+def test_suppressions_apply_to_cached_findings(tmp_path):
+    """Suppression comments are re-applied on every run, so a cached
+    event never resurrects a waived finding."""
+    _write(tmp_path, "mod.py", """
+        def leak(session_key):
+            return f"k={session_key}"  # herdlint: disable=HL004
+    """)
+    cache = tmp_path / "cache.json"
+    for _ in range(2):
+        result = _lint_dir(tmp_path, cache)
+        assert result.active == []
+        assert len(result.suppressed) == 1
+
+
+# -- baseline ---------------------------------------------------------
+
+
+def test_baseline_waives_exact_findings_and_no_more(tmp_path):
+    from repro.lint.baseline import save_baseline
+
+    _write(tmp_path, "mod.py", """
+        def leak(session_key):
+            return f"k={session_key}"
+    """)
+    baseline = tmp_path / "baseline.json"
+    config = LintConfig(select=("HL004",))
+    first = run_lint([str(tmp_path / "mod.py")], config)
+    assert len(first.active) == 1
+    save_baseline(str(baseline), first.findings)
+
+    waived = run_lint(
+        [str(tmp_path / "mod.py")],
+        LintConfig(select=("HL004",), baseline_path=str(baseline)))
+    assert waived.active == []
+    assert len(waived.baselined) == 1
+
+    # A second, new instance of the same leak is NOT covered.
+    _write(tmp_path, "mod.py", """
+        def leak(session_key):
+            return f"k={session_key}"
+
+        def leak_again(session_key):
+            return f"k={session_key}"
+    """)
+    second = run_lint(
+        [str(tmp_path / "mod.py")],
+        LintConfig(select=("HL004",), baseline_path=str(baseline)))
+    assert len(second.baselined) == 1
+    assert len(second.active) == 1
+
+
+# -- HL006 partial-tree note ------------------------------------------
+
+
+def test_hl006_partial_scan_is_a_note_not_an_error():
+    """Linting wire.py alone from a package with unscanned siblings
+    explains itself instead of failing the gate."""
+    result = run_lint(["src/repro/core/wire.py"],
+                      LintConfig(select=("HL006",)))
+    assert result.active == []
+    assert len(result.notes) == 1
+    assert "partial scan" in result.notes[0].message
+
+
+def test_hl006_complete_scan_still_errors():
+    """The nodispatch fixture directory IS the whole tree, so the
+    missing dispatch table stays an error."""
+    result = run_lint([str(FIXTURES / "wire_nodispatch")],
+                      LintConfig(select=("HL006",)))
+    assert len(result.active) == 1
+    assert "no *_DISPATCH table" in result.active[0].message
+
+
+# -- --changed incremental mode ---------------------------------------
+
+
+def test_changed_mode_lints_only_git_modified_files(tmp_path,
+                                                    monkeypatch,
+                                                    capsys):
+    import subprocess
+
+    from repro.lint.cli import main as lint_main
+
+    def git(*argv):
+        subprocess.run(
+            ["git", "-c", "user.email=dev@example.net",
+             "-c", "user.name=dev", *argv],
+            cwd=tmp_path, check=True, capture_output=True)
+
+    git("init", "-q")
+    _write(tmp_path, "committed_leak.py", """
+        def leak(session_key):
+            return f"k={session_key}"
+    """)
+    git("add", ".")
+    git("commit", "-q", "-m", "seed")
+    monkeypatch.chdir(tmp_path)
+
+    # Nothing changed vs. HEAD: the committed violation is not
+    # rescanned and the run exits clean.
+    assert lint_main([".", "--changed", "--select", "HL004"]) == 0
+    assert "no python files changed" in capsys.readouterr().out
+
+    # A new (untracked) violation IS picked up.
+    _write(tmp_path, "fresh_leak.py", """
+        def leak(other_key):
+            return f"k={other_key}"
+    """)
+    assert lint_main([".", "--changed", "--select", "HL004"]) == 1
+    out = capsys.readouterr().out
+    assert "fresh_leak.py" in out
+    assert "committed_leak.py" not in out

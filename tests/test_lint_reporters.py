@@ -46,8 +46,9 @@ def test_json_report_golden_structure():
     assert payload["summary"]["total"] == len(payload["findings"])
     finding = payload["findings"][0]
     assert set(finding) == {"rule", "message", "path", "line", "col",
-                            "severity", "suppressed"}
+                            "severity", "suppressed", "baselined"}
     assert finding["rule"].startswith("HL")
+    assert set(payload["flow_cache"]) == {"hits", "misses"}
 
 
 def test_sarif_report_golden_structure():

@@ -1,4 +1,5 @@
-"""Fixture-driven tests for every herdlint rule (HL001-HL006) and the
+"""Fixture-driven tests for every herdlint rule (the syntactic
+HL001-HL006 set and the flow-driven HL007/HL10x family) and the
 engine's suppression / selection / exclusion machinery."""
 
 from pathlib import Path
@@ -33,6 +34,17 @@ RULE_FIXTURES = [
      "secret_log_suppressed.py", "secret_log_clean.py", 4),
     ("HL005", "sleep_violation.py",
      "sleep_suppressed.py", "sleep_clean.py", 2),
+    ("HL007", "determinism_violation.py",
+     "determinism_suppressed.py", "determinism_clean.py", 4),
+    ("HL101", "core/shared_state_violation.py",
+     "core/shared_state_suppressed.py",
+     "core/shared_state_clean.py", 3),
+    ("HL102", "blocking_async_violation.py",
+     "blocking_async_suppressed.py", "blocking_async_clean.py", 3),
+    ("HL103", "unawaited_violation.py",
+     "unawaited_suppressed.py", "unawaited_clean.py", 2),
+    ("HL104", "shard_crossing_violation.py",
+     "shard_crossing_suppressed.py", "shard_crossing_clean.py", 4),
 ]
 
 
@@ -134,7 +146,8 @@ def test_select_and_ignore_filter_rules():
 
 def test_exclude_glob_skips_files():
     result = lint("core", exclude=("*wall_clock_violation*",))
-    assert all("violation" not in f.path for f in result.findings)
+    assert all("wall_clock_violation" not in f.path
+               for f in result.findings)
 
 
 def test_parse_error_is_reported_not_raised(tmp_path):
@@ -163,11 +176,11 @@ def test_findings_are_sorted_and_deduplicated():
     assert len(set(keys)) == len(keys)
 
 
-def test_registry_has_the_six_documented_rules():
+def test_registry_has_the_documented_rules():
     ids = [rule.rule_id for rule in all_rules()]
     assert ids == sorted(ids)
-    assert {"HL001", "HL002", "HL003", "HL004", "HL005",
-            "HL006"} <= set(ids)
-    assert len(ids) >= 6
+    assert {"HL001", "HL002", "HL003", "HL004", "HL005", "HL006",
+            "HL007", "HL101", "HL102", "HL103", "HL104"} <= set(ids)
+    assert len(ids) >= 11
     for rule in all_rules():
         assert rule.title and rule.rationale
