@@ -21,11 +21,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import execution as execution_registry
 from repro.obs.export import render_json, render_prometheus
 from repro.obs.instrument import Herdscope
 
 SCENARIOS = ("live", "testbed", "chaos", "scenario")
-EXECUTIONS = ("event", "batch")
 
 
 class SimConfig:
@@ -62,14 +62,21 @@ class SimConfig:
         ``scenario="scenario"`` automatically; the scenario's own
         seed, shape, and horizon drive the run.
     execution:
-        ``"event"`` (default) — the classical per-cell / per-channel
-        hot path; ``"batch"`` — round-synchronous batch execution
-        (one core entry point per component per round, vectors of
-        cells on the wire).  The engines are observationally
+        The execution engine, resolved by name through the
+        :mod:`repro.execution` registry: ``"event"`` (default) — the
+        classical per-cell / per-channel hot path; ``"batch"`` —
+        round-synchronous batch execution (one core entry point per
+        component per round, vectors of cells on the wire);
+        ``"batch-v2"`` — the vectorized plane (run-length cell
+        vectors with aggregate chaff accounting, shardable across
+        worker processes).  The engines are observationally
         equivalent: a seeded run produces byte-identical metrics
-        snapshots, traces, and adversary observations under both
-        (DESIGN.md §9); batch just does it with O(rounds) instead of
-        O(cells) scheduling work.
+        snapshots, traces, and adversary observations under all of
+        them (DESIGN.md §9, §13); they differ only in cost.
+    shards:
+        Worker-process count for shardable engines (``batch-v2``).
+        ``None`` / ``1`` runs single-process; requesting ``shards >
+        1`` on a non-shardable engine raises ``ValueError``.
     wiretap:
         Live scenario only: materialize the zone's wire plane and tap
         every link with a global passive observer; the observation
@@ -92,7 +99,7 @@ class SimConfig:
                  "n_sps", "k", "zone_id", "zone_specs",
                  "client_prefix", "call_pairs", "chaos",
                  "scenario_def", "trace_path", "trace_buffer",
-                 "execution", "wiretap", "profile")
+                 "execution", "shards", "wiretap", "profile")
 
     def __init__(self, *, scenario: str = "live",
                  seed: int = 20150817, n_clients: int = 12,
@@ -104,7 +111,9 @@ class SimConfig:
                  chaos=None, scenario_def=None,
                  trace_path: Optional[str] = None,
                  trace_buffer: int = 4096,
-                 execution: str = "event", wiretap: bool = False,
+                 execution: str = "event",
+                 shards: Optional[int] = None,
+                 wiretap: bool = False,
                  profile: bool = False):
         if scenario_def is not None and scenario == "live":
             scenario = "scenario"
@@ -114,9 +123,7 @@ class SimConfig:
         if scenario not in SCENARIOS:
             raise ValueError(f"scenario must be one of {SCENARIOS}, "
                              f"not {scenario!r}")
-        if execution not in EXECUTIONS:
-            raise ValueError(f"execution must be one of {EXECUTIONS}, "
-                             f"not {execution!r}")
+        plane_spec = execution_registry.resolve(execution, shards)
         if call_pairs < 0 or 2 * call_pairs > n_clients:
             raise ValueError("call_pairs needs two clients per call")
         self.scenario = scenario
@@ -133,7 +140,8 @@ class SimConfig:
         self.scenario_def = scenario_def
         self.trace_path = trace_path
         self.trace_buffer = trace_buffer
-        self.execution = execution
+        self.execution = plane_spec.name
+        self.shards = plane_spec.shards
         self.wiretap = wiretap
         self.profile = profile
 
@@ -149,15 +157,22 @@ class RunReport:
     """What one :meth:`Simulation.run` produced."""
 
     __slots__ = ("scenario", "seed", "rounds_run", "metrics",
-                 "trace_events", "trace_path", "detail", "perf")
+                 "trace_events", "trace_path", "detail", "perf",
+                 "engine", "shards")
 
     def __init__(self, *, scenario: str, seed: int, rounds_run: int,
                  metrics: Dict[str, Any], trace_events: Tuple,
                  trace_path: Optional[str], detail: Any,
-                 perf: Optional[Dict[str, Any]] = None):
+                 perf: Optional[Dict[str, Any]] = None,
+                 engine: str = "event", shards: int = 1):
         self.scenario = scenario
         self.seed = seed
         self.rounds_run = rounds_run
+        #: The execution engine the run used (registry name) and its
+        #: shard count — the same vocabulary the CLI flags
+        #: ``--engine`` / ``--shards`` use.
+        self.engine = engine
+        self.shards = shards
         #: Deterministic :meth:`~repro.obs.metrics.MetricsRegistry
         #: .snapshot` of every instrument the run touched.
         self.metrics = metrics
@@ -255,7 +270,8 @@ class Simulation:
                          trace_events=events,
                          trace_path=cfg.trace_path, detail=detail,
                          perf=prof.report() if prof is not None
-                         else None)
+                         else None,
+                         engine=cfg.execution, shards=cfg.shards)
 
     # -- scenarios ------------------------------------------------------------
 
@@ -273,7 +289,7 @@ class Simulation:
                         n_sps=cfg.n_sps, seed=cfg.seed,
                         zone_id=cfg.zone_id,
                         client_prefix=cfg.client_prefix,
-                        execution=cfg.execution)
+                        execution=cfg.execution, shards=cfg.shards)
         if self.profiler is not None:
             # Before attach_wire, so the fabric (and its links) picks
             # the profiler up on creation.
@@ -293,11 +309,16 @@ class Simulation:
                       if live.agent.state is CallState.IN_CALL)
         detail = {
             "zone_id": cfg.zone_id,
+            "engine": cfg.execution,
             "execution": cfg.execution,
+            "shards": cfg.shards,
             "clients_in_call": in_call,
             "calls_blocked": zone.manager.calls_blocked,
         }
         if fabric is not None:
+            # Sharded engines defer tap fan-out to worker processes;
+            # the merge restores canonical order (no-op otherwise).
+            fabric.finalize()
             # The adversary's view, as plain tuples: byte-identical
             # across engines (the equivalence contract); the engine
             # cost stats beside it are the part that is allowed to —
@@ -333,7 +354,8 @@ class Simulation:
             bed.ready_for_calls(callee)
             sessions.append(bed.call(caller, callee))
         delivered = 0
-        batch = cfg.execution == "batch"
+        batch = execution_registry.get_plane(
+            cfg.execution).zone_mode == "batch"
         for r in range(rounds):
             frame_clock["round"] = r
             payload = b"\x42" * 160
@@ -359,6 +381,7 @@ class Simulation:
         return rounds, {
             "zones": zone_ids,
             "calls": len(sessions),
+            "engine": cfg.execution,
             "execution": cfg.execution,
             "frames_delivered": delivered,
         }
@@ -372,7 +395,8 @@ class Simulation:
                             n_clients=cfg.n_clients,
                             n_channels=cfg.n_channels,
                             call_pairs=cfg.call_pairs,
-                            execution=cfg.execution)
+                            execution=cfg.execution,
+                            shards=cfg.shards)
         if until is not None:
             chaos_cfg = replace(chaos_cfg, horizon_s=float(until))
         report = run_chaos(chaos_cfg, scope=self.scope,
@@ -386,5 +410,6 @@ class Simulation:
         if until is not None and float(until) != scenario.horizon_s:
             scenario = scenario.with_horizon(float(until))
         outcome = execute(scenario, execution=cfg.execution,
-                          scope=self.scope, profiler=self.profiler)
+                          shards=cfg.shards, scope=self.scope,
+                          profiler=self.profiler)
         return outcome.rounds_run, outcome

@@ -29,6 +29,16 @@ import sys
 from typing import List, Optional
 
 
+class _DeprecatedEngineAlias(argparse.Action):
+    """``--execution`` kept as a warning alias of ``--engine`` for
+    one deprecation cycle."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(f"warning: {option_string} is deprecated; use --engine",
+              file=sys.stderr)
+        setattr(namespace, self.dest, values)
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.simulation.testbed import build_testbed
     bed = build_testbed()
@@ -142,12 +152,20 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                        n_channels=args.channels,
                        call_pairs=args.pairs,
                        trace_path=args.trace,
-                       execution=args.execution)
+                       execution=args.engine, shards=args.shards,
+                       profile=args.profile)
     report = Simulation(config).run(rounds=args.rounds)
     if args.format == "json":
         print(report.to_json())
     else:
         print(report.to_prometheus())
+    if args.profile and report.perf is not None:
+        phases = report.perf.get("phases", {})
+        for phase in sorted(phases):
+            data = phases[phase]
+            print(f"# perf {phase}: {data.get('wall_s', 0.0):.4f}s "
+                  f"over {data.get('calls', 0)} call(s)",
+                  file=sys.stderr)
     if args.trace:
         print(f"trace written to {args.trace}", file=sys.stderr)
     return 0
@@ -232,10 +250,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--clients", type=int, default=12)
     p_metrics.add_argument("--channels", type=int, default=4)
     p_metrics.add_argument("--pairs", type=int, default=2)
-    p_metrics.add_argument("--execution", choices=("event", "batch"),
+    from repro import execution as execution_registry
+    p_metrics.add_argument("--engine", dest="engine",
+                           choices=execution_registry.plane_names(),
                            default="event",
                            help="execution engine (the metrics are "
-                           "byte-identical; batch runs faster)")
+                           "byte-identical; batch engines run faster)")
+    p_metrics.add_argument("--execution", dest="engine",
+                           action=_DeprecatedEngineAlias,
+                           choices=execution_registry.plane_names(),
+                           help="deprecated alias of --engine (one "
+                           "deprecation cycle)")
+    p_metrics.add_argument("--shards", type=int, default=None,
+                           help="worker-process count for shardable "
+                           "engines (batch-v2)")
+    p_metrics.add_argument("--profile", action="store_true",
+                           help="attach the phase profiler; per-phase "
+                           "wall time prints to stderr (metrics "
+                           "unchanged)")
     p_metrics.add_argument("--format", choices=("prom", "json"),
                            default="prom")
     p_metrics.add_argument("--trace", default=None,

@@ -1,0 +1,145 @@
+"""The ExecutionPlane registry: execution engines resolved by name.
+
+Before this module, every layer that accepted an ``execution=`` knob
+(:class:`repro.api.SimConfig`, :class:`repro.simulation.live.LiveZone`,
+:class:`repro.simulation.roundsync.WireFabric`, the scenario engine,
+``ChaosConfig``) carried its own ``("event", "batch")`` tuple and its
+own if/elif validation — adding an engine meant touching five copies.
+This registry is the single point of truth: an execution plane is
+*registered* once, and every consumer resolves the name through
+:func:`resolve`.
+
+A plane is described by two orthogonal modes plus a shard capability:
+
+* ``zone_mode`` — how the protocol round runs inside a
+  :class:`~repro.simulation.live.LiveZone`: ``"event"`` (per-channel
+  calls) or ``"batch"`` (the round-synchronous core entry points
+  ``SuperPeer.process_round`` / ``MixCallManager.process_round``).
+  The protocol outputs are byte-identical either way (DESIGN.md §9).
+* ``wire_mode`` — how the :class:`~repro.simulation.roundsync
+  .WireFabric` materializes the wire image: ``"event"`` (one packet +
+  heap event per cell), ``"batch"`` (one :class:`~repro.netsim.rounds
+  .CellBatch` per link per round), or ``"vector"`` (run-length
+  :class:`~repro.netsim.rounds.CellVector` segments with aggregate
+  chaff accounting — O(runs) per round, shardable across worker
+  processes, DESIGN.md §13).
+* ``supports_shards`` — whether ``shards > 1`` may be requested; the
+  sharded wire plane fans round segments out to workers and merges
+  results deterministically (:mod:`repro.netsim.shards`).
+
+Built-in planes: ``"event"``, ``"batch"``, and ``"batch-v2"`` (the
+vectorized, shardable plane).  The asyncio transport (ROADMAP item 3)
+registers here too when it lands — that is the point of the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+ZONE_MODES = ("event", "batch")
+WIRE_MODES = ("event", "batch", "vector")
+
+
+@dataclass(frozen=True)
+class ExecutionPlane:
+    """One registered execution engine.
+
+    ``name`` is the public identifier (``SimConfig(execution=name)``,
+    ``repro metrics --engine name``); the modes tell each layer how to
+    run without string-matching on the name anywhere else.
+    """
+
+    name: str
+    zone_mode: str
+    wire_mode: str
+    supports_shards: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.zone_mode not in ZONE_MODES:
+            raise ValueError(f"zone_mode must be one of {ZONE_MODES}, "
+                             f"not {self.zone_mode!r}")
+        if self.wire_mode not in WIRE_MODES:
+            raise ValueError(f"wire_mode must be one of {WIRE_MODES}, "
+                             f"not {self.wire_mode!r}")
+
+
+@dataclass(frozen=True)
+class PlaneSpec:
+    """A resolved (plane, shards) request — what consumers act on."""
+
+    plane: ExecutionPlane
+    shards: int = 1
+
+    @property
+    def name(self) -> str:
+        return self.plane.name
+
+    @property
+    def zone_mode(self) -> str:
+        return self.plane.zone_mode
+
+    @property
+    def wire_mode(self) -> str:
+        return self.plane.wire_mode
+
+
+_REGISTRY: Dict[str, ExecutionPlane] = {}
+
+
+def register_plane(plane: ExecutionPlane) -> ExecutionPlane:
+    """Register (or re-register) a plane under its name."""
+    _REGISTRY[plane.name] = plane
+    return plane
+
+
+def plane_names() -> Tuple[str, ...]:
+    """Registered plane names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_plane(name: str) -> ExecutionPlane:
+    """Look one plane up by name; unknown names raise ``ValueError``
+    listing what is registered (with a did-you-mean when close)."""
+    found = _REGISTRY.get(name)
+    if found is not None:
+        return found
+    import difflib
+    close = difflib.get_close_matches(str(name), _REGISTRY, n=1)
+    hint = f" (did you mean {close[0]!r}?)" if close else ""
+    raise ValueError(
+        f"unknown execution plane {name!r}; registered planes: "
+        f"{', '.join(_REGISTRY)}{hint}")
+
+
+def resolve(execution: str, shards: Optional[int] = None) -> PlaneSpec:
+    """Resolve an ``execution=`` / ``--engine`` request to a
+    :class:`PlaneSpec`, validating the shard count against the
+    plane's capability."""
+    plane = get_plane(execution)
+    n = 1 if shards is None else int(shards)
+    if n < 1:
+        raise ValueError(f"shards must be >= 1, not {shards!r}")
+    if n > 1 and not plane.supports_shards:
+        raise ValueError(
+            f"execution plane {plane.name!r} does not support "
+            f"sharding; use shards=1 or a shardable plane "
+            f"({', '.join(p for p in _REGISTRY if _REGISTRY[p].supports_shards) or 'none registered'})")
+    return PlaneSpec(plane=plane, shards=n)
+
+
+register_plane(ExecutionPlane(
+    name="event", zone_mode="event", wire_mode="event",
+    description="per-cell discrete events: one packet and one heap "
+                "event per cell (the classical reference engine)"))
+register_plane(ExecutionPlane(
+    name="batch", zone_mode="batch", wire_mode="batch",
+    description="round-synchronous batches: one CellBatch per link "
+                "per round, one heap event per round"))
+register_plane(ExecutionPlane(
+    name="batch-v2", zone_mode="batch", wire_mode="vector",
+    supports_shards=True,
+    description="vectorized rounds: run-length CellVector segments "
+                "with aggregate chaff accounting, shardable across "
+                "worker processes with a deterministic merge"))

@@ -63,6 +63,20 @@ class LinkObserver:
         for size in batch.sizes:
             append(Observation(time=time, size=size, src=src, dst=dst))
 
+    def record_runs(self, time: float, src: str, dst: str,
+                    sizes, counts) -> None:
+        """Called by the vectorized wire plane (``batch-v2``) with one
+        (link, round) aggregate image: parallel run-length arrays.
+        The adversary stores per-cell sightings, so runs expand here —
+        ``counts[i]`` identical sightings per run, in emission order,
+        byte-identical to the per-cell engines' streams (the
+        observational-equivalence contract, DESIGN.md §9/§13)."""
+        observations = self.observations
+        for size, count in zip(sizes, counts):
+            observations.extend(
+                [Observation(time=time, size=size, src=src, dst=dst)]
+                * count)
+
     def time_series(self, src: str, dst: str,
                     bin_width: float) -> Dict[int, int]:
         """Bytes-per-bin histogram for one directed link — the raw

@@ -35,7 +35,20 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
                        help="client count to sweep (repeatable; "
                        "default: 100 250 500)")
     p_run.add_argument("--rounds", type=int, default=None,
-                       help="rounds per run (default: 25)")
+                       help="rounds per run (default: 25; large "
+                       "ladder points auto-shorten)")
+    p_run.add_argument("--engine", action="append", dest="engine",
+                       default=None,
+                       help="engine(s) to sweep (repeatable; "
+                       "default: event batch batch-v2).  Each engine "
+                       "climbs the client ladder up to its cap.")
+    p_run.add_argument("--shards", type=int, default=None,
+                       help="worker-process count for shardable "
+                       "engines (batch-v2)")
+    p_run.add_argument("--min-v2-speedup", type=float, default=None,
+                       help="gate: nonzero exit unless batch-v2 beats "
+                       "batch by at least this factor at the largest "
+                       "common client count (CI scaling-smoke)")
     p_run.add_argument("--json", default=DEFAULT_JSON,
                        help=f"entry output path (default: "
                        f"{DEFAULT_JSON})")
@@ -74,9 +87,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     rounds = args.rounds if args.rounds is not None \
         else bench.DEFAULT_ROUNDS
 
+    engines = tuple(args.engine) if args.engine \
+        else bench.DEFAULT_ENGINES
+
     entry = bench.run_scaling_bench(
         clients, rounds, timestamp_utc=utc_timestamp(),
-        with_phases=not args.no_phases)
+        with_phases=not args.no_phases, engines=engines,
+        shards=args.shards)
 
     from pathlib import Path
     Path(args.json).write_text(
@@ -88,18 +105,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"bench entry (schema {prov['schema']}, commit "
           f"{prov['commit'][:12]}, machine "
           f"{prov['machine_fingerprint']}) -> {args.json}")
-    for n_clients, speedup in sorted(
-            entry["speedup_cells_per_sec"].items(),
-            key=lambda kv: int(kv[0])):
-        print(f"  {n_clients:>6s} clients: batch/event speedup "
-              f"{speedup:.1f}x")
+    for key, label in (("speedup_cells_per_sec", "batch/event"),
+                       ("speedup_v2_over_batch", "batch-v2/batch")):
+        for n_clients, speedup in sorted(
+                entry.get(key, {}).items(),
+                key=lambda kv: int(kv[0])):
+            print(f"  {n_clients:>8s} clients: {label} speedup "
+                  f"{speedup:.1f}x")
     if "profiler_overhead" in entry:
         oh = entry["profiler_overhead"]
         print(f"  profiler attached overhead at {oh['clients']} "
               f"clients ({oh['engine']}): {oh['overhead_pct']:.1f}%")
     if "phases" in entry:
-        for engine in ("event", "batch"):
-            phases = entry["phases"][engine]["phases"]
+        for engine in engines:
+            phases = entry["phases"].get(engine, {}).get("phases", {})
             hot = max(phases.items(),
                       key=lambda kv: kv[1]["wall_s"])[0] \
                 if phases else "n/a"
@@ -108,13 +127,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.flamegraph:
         from repro.obs.prof.deepprof import DeepProfile, \
             write_flamegraph
-        headline = max(clients)
+        flame_engine = "batch" if "batch" in engines else engines[-1]
+        cap = bench.ENGINE_CAPS.get(flame_engine)
+        eligible = [n for n in clients if cap is None or n <= cap]
+        headline = max(eligible) if eligible else min(clients)
         _, profile = DeepProfile.capture(
-            bench.run_backbone, "batch", headline, rounds)
+            bench.run_backbone, flame_engine, headline,
+            bench.rounds_for(headline, rounds))
         write_flamegraph(profile, args.flamegraph,
                          self_time_path=args.self_time)
-        print(f"  flamegraph (collapsed stacks, batch engine, "
-              f"{headline} clients) -> {args.flamegraph}")
+        print(f"  flamegraph (collapsed stacks, {flame_engine} "
+              f"engine, {headline} clients) -> {args.flamegraph}")
+
+    if args.min_v2_speedup is not None:
+        v2 = entry.get("speedup_v2_over_batch", {})
+        if not v2:
+            print("GATE FAIL: --min-v2-speedup set but no common "
+                  "batch-v2/batch ladder point was run",
+                  file=sys.stderr)
+            return 1
+        at = max(v2, key=lambda c: int(c))
+        if v2[at] < args.min_v2_speedup:
+            print(f"GATE FAIL: batch-v2/batch speedup {v2[at]:.1f}x "
+                  f"at {at} clients is below the required "
+                  f"{args.min_v2_speedup:.1f}x", file=sys.stderr)
+            return 1
+        print(f"  gate ok: batch-v2/batch speedup {v2[at]:.1f}x at "
+              f"{at} clients >= {args.min_v2_speedup:.1f}x")
     return 0
 
 

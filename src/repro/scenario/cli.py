@@ -17,8 +17,21 @@ import sys
 from pathlib import Path
 from typing import List
 
+from repro import execution as execution_registry
 from repro.scenario.loader import load_corpus, load_scenario
 from repro.scenario.model import Scenario, ScenarioError
+
+
+class _DeprecatedEngineAlias(argparse.Action):
+    """``--execution`` kept as a warning alias of ``--engine`` for
+    one deprecation cycle."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(f"warning: {option_string} is deprecated; use --engine",
+              file=sys.stderr)
+        items = list(getattr(namespace, self.dest) or ())
+        items.append(values)
+        setattr(namespace, self.dest, items)
 
 
 def add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -29,12 +42,22 @@ def add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     p_run.add_argument("paths", nargs="+",
                        help="scenario .toml files and/or directories "
                        "of them")
-    p_run.add_argument("--execution", action="append",
-                       choices=("event", "batch"), default=None,
+    p_run.add_argument("--engine", action="append", dest="engine",
+                       choices=execution_registry.plane_names(),
+                       default=None,
                        help="engine(s) to run each scenario on "
                        "(repeatable; default: event).  With more than "
                        "one, determinism keys must match across "
                        "engines.")
+    p_run.add_argument("--execution", dest="engine",
+                       action=_DeprecatedEngineAlias,
+                       choices=execution_registry.plane_names(),
+                       default=None,
+                       help="deprecated alias of --engine (one "
+                       "deprecation cycle)")
+    p_run.add_argument("--shards", type=int, default=None,
+                       help="worker-process count for shardable "
+                       "engines (batch-v2)")
     p_run.add_argument("--report-dir", default=None,
                        help="write one <scenario>.json report "
                        "artifact per scenario here")
@@ -66,7 +89,7 @@ def _collect(paths: List[str]) -> List[Scenario]:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.scenario.report import run_scenario
-    executions = args.execution or ["event"]
+    engines = args.engine or ["event"]
     try:
         scenarios = _collect(args.paths)
     except ScenarioError as exc:
@@ -76,21 +99,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if report_dir is not None:
         report_dir.mkdir(parents=True, exist_ok=True)
     failures = 0
+
+    def shards_for(engine: str):
+        # --shards applies to the shardable engine(s) of the set; a
+        # per-cell engine beside them just runs unsharded.
+        plane = execution_registry.get_plane(engine)
+        return args.shards if plane.supports_shards else None
+
     for scenario in scenarios:
-        reports = [run_scenario(scenario, execution=execution,
+        reports = [run_scenario(scenario, execution=engine,
+                                shards=shards_for(engine),
                                 profile=args.profile)
-                   for execution in executions]
+                   for engine in engines]
         keys = {r.determinism_key for r in reports}
         determinism_ok = len(keys) == 1
         passed = determinism_ok and all(r.passed for r in reports)
         failures += 0 if passed else 1
         verdict = "ok" if passed else "FAIL"
-        engines = "/".join(executions)
+        engine_label = "/".join(engines)
         head = reports[0]
         # The determinism key is a public content hash, not key
         # material (HL004's taint source excludes determinism_*).
         fingerprint = head.determinism_key[:12]
-        print(f"{verdict:4s} {scenario.name:24s} [{engines}] "
+        print(f"{verdict:4s} {scenario.name:24s} [{engine_label}] "
               f"survival={head.survival['call_survival_rate']:.2f} "
               f"legs={head.survival['call_legs_established']} "
               f"key={fingerprint}")
@@ -99,20 +130,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             for report in reports:
                 fingerprint = report.determinism_key
-                print(f"       {report.execution}: {fingerprint}",
+                print(f"       {report.engine}: {fingerprint}",
                       file=sys.stderr)
         for report in reports:
             for failure in report.criteria_failures:
-                print(f"     [{report.execution}] criteria: "
+                print(f"     [{report.engine}] criteria: "
                       f"{failure}", file=sys.stderr)
             for violation in report.invariant_violations:
-                print(f"     [{report.execution}] invariant: "
+                print(f"     [{report.engine}] invariant: "
                       f"{violation}", file=sys.stderr)
         if report_dir is not None:
             artifact = {
                 "scenario": scenario.name,
                 "scenario_signature": scenario.signature(),
-                "engines": {r.execution: r.to_artifact_dict()
+                "engines": {r.engine: r.to_artifact_dict()
                             for r in reports},
                 "determinism_match": determinism_ok,
                 "passed": passed,
@@ -122,7 +153,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                       sort_keys=True) + "\n")
     total = len(scenarios)
     print(f"{total - failures}/{total} scenario(s) passed on "
-          f"{'/'.join(executions)}")
+          f"{'/'.join(engines)}")
     return 1 if failures else 0
 
 

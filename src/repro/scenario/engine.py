@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import execution as execution_registry
 from repro.core.blacklist import SPMonitor
 from repro.core.callmanager import CallState, FailoverRecord
 from repro.core.invariants import sp_state_is_activity_free
@@ -124,8 +125,11 @@ def _sp_scope_of(spec: FaultSpec) -> Optional[str]:
 
 
 def execute(scenario: Scenario, *, execution: str = "event",
+            shards: Optional[int] = None,
             scope=None, profiler=None) -> ScenarioOutcome:
-    """Run one scenario end to end on the given execution engine.
+    """Run one scenario end to end on the given execution engine
+    (any name registered with :mod:`repro.execution`; ``shards``
+    applies to shardable engines like ``batch-v2``).
 
     ``scope`` is an optional :class:`repro.obs.instrument.Herdscope`
     wired into the loop, zone, and injector (metrics + traces).
@@ -134,9 +138,7 @@ def execute(scenario: Scenario, *, execution: str = "event",
     host-time side channel that never feeds the outcome (so the
     determinism key is byte-identical with or without it).
     """
-    if execution not in ("event", "batch"):
-        raise ValueError("execution must be 'event' or 'batch', "
-                         f"not {execution!r}")
+    execution_registry.resolve(execution, shards)
     shape = scenario.zone
     plan = scenario.plan()
     loop = EventLoop(seed=scenario.seed)
@@ -147,7 +149,7 @@ def execute(scenario: Scenario, *, execution: str = "event",
                     n_sps=shape.n_sps, seed=scenario.seed, bed=bed,
                     zone_id=LIVE_ZONE,
                     client_prefix=shape.client_prefix,
-                    execution=execution)
+                    execution=execution, shards=shards)
     for i in range(shape.n_direct_clients):
         bed.add_client(f"ctl-{i}", CTL_ZONE)
 
@@ -407,6 +409,9 @@ def execute(scenario: Scenario, *, execution: str = "event",
 
     wiretap = None
     if fabric is not None:
+        # Sharded engines defer tap fan-out; the merge restores the
+        # canonical observation order (no-op otherwise).
+        fabric.finalize()
         wiretap = {
             "observations": [(o.time, o.size, o.src, o.dst)
                              for o in fabric.observer.observations],

@@ -6,15 +6,16 @@ with the scenario's survival metrics, the evaluated
 :class:`~repro.scenario.model.SurvivalCriteria`, and a
 ``determinism_key`` — a content hash over every engine-invariant part
 of the outcome.  The key is the §9/§10 contract in one string: the
-same scenario and seed produce the same key on ``execution="event"``
-and ``execution="batch"``, and the CLI / CI corpus job fails when they
-diverge.
+same scenario and seed produce the same key on every registered
+engine (``event``, ``batch``, ``batch-v2`` at any shard count), and
+the CLI / CI corpus job fails when they diverge.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from typing import Any, Dict, List, Optional
 
 from repro.api import RunReport, SimConfig, Simulation
@@ -120,24 +121,28 @@ def evaluate_criteria(criteria: SurvivalCriteria,
 
 
 class ScenarioReport(RunReport):
-    """A :class:`RunReport` plus the scenario's survival verdict."""
+    """A :class:`RunReport` plus the scenario's survival verdict.
 
-    __slots__ = ("name", "execution", "scenario_signature",
+    The execution engine lives in the inherited :attr:`~repro.api
+    .RunReport.engine` / :attr:`~repro.api.RunReport.shards` fields —
+    the same vocabulary as the ``--engine`` / ``--shards`` CLI flags;
+    :attr:`execution` remains as a deprecated alias for one cycle."""
+
+    __slots__ = ("name", "scenario_signature",
                  "plan_signature", "survival", "timeline",
                  "criteria_failures", "invariant_violations",
                  "determinism_key")
 
-    def __init__(self, *, scenario_def: Scenario, execution: str,
-                 base: RunReport):
+    def __init__(self, *, scenario_def: Scenario, engine: str,
+                 base: RunReport, shards: int = 1):
         outcome: ScenarioOutcome = base.detail
         super().__init__(scenario=base.scenario, seed=base.seed,
                          rounds_run=base.rounds_run,
                          metrics=base.metrics,
                          trace_events=base.trace_events,
                          trace_path=base.trace_path, detail=outcome,
-                         perf=base.perf)
+                         perf=base.perf, engine=engine, shards=shards)
         self.name = scenario_def.name
-        self.execution = execution
         self.scenario_signature = scenario_def.signature()
         self.plan_signature = outcome.plan_signature
         #: The survival metrics the criteria gate on, flattened.
@@ -166,6 +171,16 @@ class ScenarioReport(RunReport):
             outcome, self.to_json(indent=0))
 
     @property
+    def execution(self) -> str:
+        """Deprecated alias of :attr:`~repro.api.RunReport.engine`
+        (one deprecation cycle; the CLI and artifact vocabulary is
+        ``engine``)."""
+        warnings.warn(
+            "ScenarioReport.execution is deprecated; use "
+            "ScenarioReport.engine", DeprecationWarning, stacklevel=2)
+        return self.engine
+
+    @property
     def passed(self) -> bool:
         """Did the scenario meet its criteria with no invariant
         violations?"""
@@ -181,7 +196,11 @@ class ScenarioReport(RunReport):
         artifacts from the same seed differ only in that section."""
         artifact = {
             "name": self.name,
-            "execution": self.execution,
+            "engine": self.engine,
+            "shards": self.shards,
+            # Deprecated alias of "engine", kept for one cycle so
+            # existing artifact consumers keep parsing.
+            "execution": self.engine,
             "seed": self.seed,
             "scenario_signature": self.scenario_signature,
             "plan_signature": self.plan_signature,
@@ -204,16 +223,19 @@ class ScenarioReport(RunReport):
         # material (HL004's taint source excludes determinism_*).
         fingerprint = self.determinism_key[:12]
         return (f"ScenarioReport(name={self.name!r}, "
-                f"execution={self.execution!r}, seed={self.seed}, "
+                f"engine={self.engine!r}, seed={self.seed}, "
                 f"{verdict}, key={fingerprint}...)")
 
 
 def run_scenario(scenario: Scenario, *, execution: str = "event",
+                 shards: Optional[int] = None,
                  trace_path: Optional[str] = None,
                  trace_buffer: int = 0,
                  profile: bool = False) -> ScenarioReport:
     """Run one scenario through the :class:`Simulation` facade.
 
+    ``execution`` is any engine name registered with
+    :mod:`repro.execution`; ``shards`` applies to shardable engines.
     ``profile=True`` attaches a phase profiler; the per-phase
     breakdown lands in ``report.perf`` (and the CLI artifact's
     ``perf`` section) without changing the determinism key."""
@@ -221,9 +243,10 @@ def run_scenario(scenario: Scenario, *, execution: str = "event",
                                scenario_def=scenario,
                                seed=scenario.seed,
                                execution=execution,
+                               shards=shards,
                                trace_path=trace_path,
                                trace_buffer=trace_buffer,
                                profile=profile))
     base = sim.run(until=scenario.horizon_s)
-    return ScenarioReport(scenario_def=scenario, execution=execution,
-                          base=base)
+    return ScenarioReport(scenario_def=scenario, engine=execution,
+                          base=base, shards=sim.config.shards)

@@ -14,10 +14,10 @@ identical reports (the determinism regression the tests assert).
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import InitVar, dataclass, field, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro import execution as execution_registry
 from repro.core.callmanager import FailoverRecord
 from repro.core.retry import BackoffPolicy
 from repro.faults.injector import TimelineEntry
@@ -59,23 +59,16 @@ class ChaosConfig:
         max_attempts=8, jitter=0.1))
     #: SPMonitor sampling cadence for degradation faults.
     sample_interval_s: float = 0.25
-    #: Zone execution engine: ``"event"`` (per-channel round path) or
-    #: ``"batch"`` (round-synchronous batch entry points).  The chaos
-    #: report's determinism key is identical under both.
+    #: Zone execution engine, any name registered with
+    #: :mod:`repro.execution` (``"event"``, ``"batch"``,
+    #: ``"batch-v2"``).  The chaos report's determinism key is
+    #: identical under all of them.
     execution: str = "event"
-    #: Deprecated alias of ``n_clients`` (the repro.api rename unified
-    #: the knob name across LiveZone / SimConfig / ChaosConfig).
-    n_live_clients: InitVar[Optional[int]] = None
+    #: Worker-process count for shardable engines (``batch-v2``).
+    shards: Optional[int] = None
 
-    def __post_init__(self, n_live_clients: Optional[int]) -> None:
-        if n_live_clients is not None:
-            warnings.warn(
-                "ChaosConfig(n_live_clients=...) is deprecated; use "
-                "n_clients=...", DeprecationWarning, stacklevel=3)
-            self.n_clients = n_live_clients
-        if self.execution not in ("event", "batch"):
-            raise ValueError("execution must be 'event' or 'batch', "
-                             f"not {self.execution!r}")
+    def __post_init__(self) -> None:
+        execution_registry.resolve(self.execution, self.shards)
 
 
 def default_plan() -> FaultPlan:
@@ -225,8 +218,8 @@ def run_chaos(config: Optional[ChaosConfig] = None, *,
     if overrides:
         cfg = replace(cfg, **overrides)
     outcome = execute(scenario_from_chaos_config(cfg),
-                      execution=cfg.execution, scope=scope,
-                      profiler=profiler)
+                      execution=cfg.execution, shards=cfg.shards,
+                      scope=scope, profiler=profiler)
     return ChaosReport(
         plan_signature=outcome.plan_signature,
         timeline=list(outcome.timeline),

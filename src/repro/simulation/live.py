@@ -23,11 +23,11 @@ inter-mix rendezvous path.
 from __future__ import annotations
 
 import random
-import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
+from repro import execution as execution_registry
 from repro.core.callmanager import CallState, ClientCallAgent, \
     FailoverRecord, MixCallManager
 from repro.core.channel import decode_manifest
@@ -35,7 +35,7 @@ from repro.core.join import join_zone
 from repro.core.client import HerdClient
 from repro.core.shedding import LoadShedder
 from repro.simulation.roundsync import DEFAULT_ROUND_INTERVAL_S, \
-    EXECUTIONS, WireFabric
+    WireFabric
 from repro.simulation.testbed import HerdTestbed, build_testbed
 
 
@@ -55,37 +55,30 @@ class LiveClient:
 class LiveZone:
     """One zone running live rounds.
 
-    All parameters are keyword-only; positional forms are deprecated
-    (kept as a shim so pre-``repro.api`` callers keep working)."""
+    All parameters are keyword-only (positional forms were removed
+    with the PR-3 deprecation cycle).  ``execution`` is any engine
+    name registered with :mod:`repro.execution`; ``shards`` applies
+    to shardable engines (``batch-v2``) and flows into the wire
+    plane created by :meth:`attach_wire`."""
 
-    def __init__(self, *args, n_clients: int = 12, n_channels: int = 4,
+    def __init__(self, *, n_clients: int = 12, n_channels: int = 4,
                  k: int = 2, n_sps: int = 1,
                  seed: int = 20150817,
                  bed: Optional[HerdTestbed] = None,
                  zone_id: str = "zone-EU",
                  client_prefix: str = "client",
-                 execution: str = "event"):
-        if args:
-            warnings.warn(
-                "positional LiveZone arguments are deprecated; pass "
-                "n_clients=..., n_channels=..., ... as keywords",
-                DeprecationWarning, stacklevel=2)
-            defaults = (n_clients, n_channels, k, n_sps, seed, bed,
-                        zone_id, client_prefix)
-            if len(args) > len(defaults):
-                raise TypeError(
-                    f"LiveZone() takes at most {len(defaults)} "
-                    f"arguments ({len(args)} given)")
-            (n_clients, n_channels, k, n_sps, seed, bed, zone_id,
-             client_prefix) = args + defaults[len(args):]
+                 execution: str = "event",
+                 shards: Optional[int] = None,
+                 shard_processes: Optional[bool] = None):
         if n_sps < 1:
             raise ValueError("need at least one superpeer")
         if n_sps > n_channels:
             raise ValueError("cannot have more SPs than channels")
-        if execution not in EXECUTIONS:
-            raise ValueError(f"execution must be one of {EXECUTIONS}, "
-                             f"not {execution!r}")
-        self.execution = execution
+        plane_spec = execution_registry.resolve(execution, shards)
+        self.execution = plane_spec.name
+        self.zone_mode = plane_spec.zone_mode
+        self.shards = plane_spec.shards
+        self.shard_processes = shard_processes
         self.seed = seed
         #: Optional wire plane (see :meth:`attach_wire`): when set,
         #: every round's cells are offered to tapped netsim links under
@@ -464,7 +457,7 @@ class LiveZone:
         """One codec-frame round: upstream, control, downstream."""
         if self.prof is not None:
             self.prof.round_started(self.round_index)
-        if self.execution == "batch":
+        if self.zone_mode == "batch":
             self._step_batch()
         else:
             self._upstream()
@@ -499,12 +492,18 @@ class LiveZone:
                     ) -> WireFabric:
         """Materialize the zone's wire plane: from the next round on,
         every cell is offered to tapped netsim links under the zone's
-        execution engine (per-cell events or per-round batches — the
-        tap records byte-identical streams either way).  The adversary
-        observes via ``fabric.observer``."""
+        execution engine (per-cell events, per-round batches, or
+        run-length vector segments — the tap records byte-identical
+        streams under all of them).  The adversary observes via
+        ``fabric.observer``; further taps subscribe through
+        ``fabric.add_tap`` (:mod:`repro.netsim.taps`).  Sharded
+        engines defer tap fan-out — call ``fabric.finalize()``
+        before reading observations."""
         self.wire = WireFabric(seed=self.seed, interval=interval,
                                execution=self.execution,
-                               observer=observer)
+                               observer=observer,
+                               shards=self.shards,
+                               shard_processes=self.shard_processes)
         if self.prof is not None:
             self.wire.set_profiler(self.prof)
         return self.wire

@@ -12,7 +12,6 @@ deployment, minus the wide-area network (which
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -88,19 +87,10 @@ class HerdTestbed:
 
 
 def build_testbed(zone_specs: Optional[Sequence[Tuple[str, str, int]]]
-                  = None, *args, seed: int = 20150817) -> HerdTestbed:
+                  = None, *, seed: int = 20150817) -> HerdTestbed:
     """Build a testbed; ``zone_specs`` is a list of
     (zone_id, site_id, n_mixes), defaulting to EU + NA with 2 mixes
-    each.  ``seed`` is keyword-only (positional form deprecated)."""
-    if args:
-        warnings.warn(
-            "positional seed is deprecated; pass seed=... as a keyword",
-            DeprecationWarning, stacklevel=2)
-        if len(args) > 1:
-            raise TypeError(
-                f"build_testbed() takes at most 2 arguments "
-                f"({1 + len(args)} given)")
-        seed = args[0]
+    each.  ``seed`` is keyword-only."""
     rng = random.Random(seed)
     bed = HerdTestbed(root=RootOfTrust(rng), rng=rng)
     for zone_id, site_id, n_mixes in (zone_specs or

@@ -125,32 +125,31 @@ class TestChaosScenario:
 
 
 class TestDeprecationShims:
-    def test_livezone_positional_warns_and_works(self):
-        with pytest.warns(DeprecationWarning):
-            zone = LiveZone(8, 4)
+    """The PR-3 positional/alias shims completed their deprecation
+    cycle and are removed: the facade API is keyword-only.  These
+    tests pin the *removal* — the old spellings now fail loudly with
+    ``TypeError``, not silently misbind."""
+
+    def test_livezone_positional_removed(self):
+        with pytest.raises(TypeError):
+            LiveZone(8, 4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            zone = LiveZone(n_clients=8, n_channels=4)
         assert len(zone.clients) == 8
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            LiveZone(n_clients=8, n_channels=4)  # keywords: no warning
 
-    def test_build_testbed_positional_seed_warns(self):
+    def test_build_testbed_positional_seed_removed(self):
         specs = [("zone-X", "dc-x", 1)]
-        with pytest.warns(DeprecationWarning):
-            bed = build_testbed(specs, 99)
-        assert "zone-X/mix-0" in bed.mixes
+        with pytest.raises(TypeError):
+            build_testbed(specs, 99)
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            build_testbed(specs, seed=99)
+            bed = build_testbed(specs, seed=99)
+        assert "zone-X/mix-0" in bed.mixes
 
-    def test_chaos_config_alias_warns(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            cfg = ChaosConfig(n_live_clients=8)
-        shim = [w for w in caught
-                if issubclass(w.category, DeprecationWarning)]
-        assert len(shim) == 1  # exactly once, not per-field
-        assert "n_live_clients" in str(shim[0].message)
-        assert cfg.n_clients == 8  # the value maps through
+    def test_chaos_config_alias_removed(self):
+        with pytest.raises(TypeError):
+            ChaosConfig(n_live_clients=8)
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert ChaosConfig(n_clients=8).n_clients == 8

@@ -2,7 +2,8 @@
 
 DESIGN.md §9: a seeded run produces *byte-identical* adversary
 observations, metrics snapshots, and JSONL traces whether it executes
-on the per-cell event engine or the round-synchronous batch engine.
+on the per-cell event engine, the round-synchronous batch engine, or
+the vectorized ``batch-v2`` plane (DESIGN.md §13) at any shard count.
 The engines may differ in anything an adversary cannot see — events
 processed, objects allocated, wall-clock speed — and nothing else.
 
@@ -10,7 +11,9 @@ This file pins that contract:
 
 * an exact cross-engine comparison of all three output surfaces for
   the live scenario (plus a pinned digest, so a change that breaks
-  both engines in lockstep still trips a review);
+  all engines in lockstep still trips a review);
+* ``batch-v2`` at shards 1, 2, and 4 held to the same surfaces and
+  the same pinned digest;
 * testbed and chaos scenarios compared across engines;
 * a hypothesis sweep over random seeds and zone shapes comparing the
   E9 constant-rate census and the wiretap size/time sequences.
@@ -83,6 +86,26 @@ class TestLiveEquivalence:
         assert _wiretap_digest(event) == _wiretap_digest(batch) == \
             PINNED_WIRETAP_SHA256
 
+    def test_batch_v2_all_surfaces_at_shards_1_2_4(self, tmp_path):
+        """§13: the vectorized plane — at every shard count — holds
+        the same three-surface contract and the same pinned digest as
+        the per-cell engines."""
+        event = _live_run("event", trace_path=tmp_path / "event.jsonl")
+        for shards in (1, 2, 4):
+            v2 = _live_run("batch-v2", shards=shards,
+                           trace_path=tmp_path / f"v2-{shards}.jsonl")
+            assert v2.engine == "batch-v2" and v2.shards == shards
+            assert v2.detail["wiretap"]["observations"] == \
+                event.detail["wiretap"]["observations"]
+            assert v2.metrics == event.metrics
+            assert v2.to_prometheus() == event.to_prometheus()
+            assert (tmp_path / f"v2-{shards}.jsonl").read_bytes() == \
+                (tmp_path / "event.jsonl").read_bytes()
+            assert _wiretap_digest(v2) == PINNED_WIRETAP_SHA256
+            # Vector plane: O(rounds) wire events, like batch.
+            assert v2.detail["wiretap"]["wire_events_processed"] < \
+                event.detail["wiretap"]["wire_events_processed"]
+
     def test_equivalence_survives_mid_run_sp_failure(self):
         def run(execution):
             from repro.simulation.live import LiveZone
@@ -95,14 +118,16 @@ class TestLiveEquivalence:
                     zone.fail_superpeer("zone-EU/sp-1")
                 zone.say("client-0", b"after-failover")
                 zone.step()
+            fabric.finalize()
             return [(o.time, o.size, o.src, o.dst)
                     for o in fabric.observer.observations], \
                 zone.received_by("client-1")
 
         obs_event, voice_event = run("event")
         obs_batch, voice_batch = run("batch")
-        assert obs_event == obs_batch
-        assert voice_event == voice_batch
+        obs_v2, voice_v2 = run("batch-v2")
+        assert obs_event == obs_batch == obs_v2
+        assert voice_event == voice_batch == voice_v2
 
 
 class TestProfilerEquivalence:
@@ -218,6 +243,12 @@ class TestScenarioEquivalence:
                              execution="event")
         batch = run_scenario(self.DEGRADATION_SCENARIO,
                              execution="batch")
+        for shards in (1, 4):
+            v2 = run_scenario(self.DEGRADATION_SCENARIO,
+                              execution="batch-v2", shards=shards)
+            assert v2.determinism_key == event.determinism_key
+            assert v2.metrics == event.metrics
+            assert v2.timeline == event.timeline
         # The adversary's view is byte-identical, even while loss,
         # jitter, and degradation windows churn link state.
         obs_event = event.detail.wiretap["observations"]
@@ -269,6 +300,7 @@ def test_equivalence_property_random_shapes(seed, n_channels, n_sps,
         return Simulation(config).run(rounds=rounds)
 
     event, batch = run("event"), run("batch")
+    vector = run("batch-v2")
 
     # The E9 report row: downstream cells per round, by kind.
     def census(report):
@@ -276,9 +308,10 @@ def test_equivalence_property_random_shapes(seed, n_channels, n_sps,
                 for s in report.metrics["herd_mix_cells_total"]
                 ["series"]}
 
-    assert census(event) == census(batch)
+    assert census(event) == census(batch) == census(vector)
     assert sum(census(event).values()) == n_channels * rounds
 
     # The adversary's size/time sequences.
     assert event.detail["wiretap"]["observations"] == \
-        batch.detail["wiretap"]["observations"]
+        batch.detail["wiretap"]["observations"] == \
+        vector.detail["wiretap"]["observations"]

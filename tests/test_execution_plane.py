@@ -1,0 +1,122 @@
+"""The ExecutionPlane registry: engines resolve by name, not string-if.
+
+DESIGN.md §13: ``SimConfig(execution=...)`` and every CLI ``--engine``
+flag resolve through :mod:`repro.execution` — one registry owning the
+mapping from an engine name to how the zone steps (``zone_mode``),
+how the wire plane carries a round (``wire_mode``), and whether the
+plane shards across worker processes.  These tests pin the registry
+surface, its validation errors, and the facade integration (including
+the report-vocabulary satellite: ``RunReport.engine`` /
+``RunReport.shards`` everywhere, ``ScenarioReport.execution`` as a
+one-cycle deprecated alias).
+"""
+
+import pytest
+
+from repro import execution
+from repro.api import RunReport, SimConfig, Simulation
+
+
+class TestRegistry:
+    def test_registered_planes(self):
+        assert set(execution.plane_names()) >= {"event", "batch",
+                                               "batch-v2"}
+
+    def test_plane_specs(self):
+        event = execution.get_plane("event")
+        assert (event.zone_mode, event.wire_mode) == ("event", "event")
+        assert not event.supports_shards
+        batch = execution.get_plane("batch")
+        assert (batch.zone_mode, batch.wire_mode) == ("batch", "batch")
+        assert not batch.supports_shards
+        v2 = execution.get_plane("batch-v2")
+        assert (v2.zone_mode, v2.wire_mode) == ("batch", "vector")
+        assert v2.supports_shards
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(ValueError, match="batch-v2"):
+            execution.get_plane("batch-v3")
+        with pytest.raises(ValueError, match="event"):
+            execution.resolve("events")
+
+    def test_resolve_defaults_and_shards(self):
+        spec = execution.resolve("event")
+        assert spec.name == "event" and spec.shards == 1
+        spec = execution.resolve("batch-v2", 4)
+        assert spec.name == "batch-v2" and spec.shards == 4
+        # shards=1 is the no-op spelling every plane accepts.
+        assert execution.resolve("batch", 1).shards == 1
+
+    def test_resolve_rejects_bad_shards(self):
+        with pytest.raises(ValueError, match="shards"):
+            execution.resolve("batch-v2", 0)
+        with pytest.raises(ValueError, match="shard"):
+            execution.resolve("event", 2)
+        with pytest.raises(ValueError, match="shard"):
+            execution.resolve("batch", 4)
+
+
+class TestFacadeIntegration:
+    def test_simconfig_resolves_plane(self):
+        cfg = SimConfig(seed=1, execution="batch-v2", shards=2)
+        assert cfg.execution == "batch-v2" and cfg.shards == 2
+        assert SimConfig(seed=1).shards == 1
+        with pytest.raises(ValueError):
+            SimConfig(seed=1, execution="batch", shards=2)
+        with pytest.raises(ValueError):
+            SimConfig(seed=1, execution="nope")
+
+    def test_runreport_engine_vocabulary(self):
+        report = Simulation(SimConfig(seed=3, n_clients=6,
+                                      execution="batch")).run(rounds=5)
+        assert report.engine == "batch"
+        assert report.shards == 1
+        assert report.detail["engine"] == "batch"
+
+    def test_scenario_report_execution_alias_deprecated(self):
+        from repro.scenario import run_scenario
+        from repro.scenario.loader import load_scenario
+        scenario = load_scenario("scenarios/00-baseline.toml")
+        report = run_scenario(scenario, execution="batch")
+        assert report.engine == "batch"
+        with pytest.warns(DeprecationWarning, match="engine"):
+            assert report.execution == "batch"
+        artifact = report.to_artifact_dict()
+        # Canonical key plus the one-cycle dict alias.
+        assert artifact["engine"] == "batch"
+        assert artifact["execution"] == "batch"
+        assert artifact["shards"] == 1
+
+    def test_runreport_engine_default(self):
+        report = RunReport(scenario="live", seed=0, rounds_run=0,
+                           metrics={}, trace_events=[],
+                           trace_path=None, detail=None)
+        assert report.engine == "event" and report.shards == 1
+
+
+class TestCLIVocabulary:
+    """Satellite: ``repro metrics`` / ``repro scenario`` / ``repro
+    bench`` all speak ``--engine`` / ``--shards``; ``--execution``
+    stays one cycle as a warning alias."""
+
+    def test_metrics_engine_flag(self, capsys):
+        from repro.cli import main
+        assert main(["metrics", "--engine", "batch-v2", "--shards",
+                     "2", "--rounds", "5", "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        assert "herd_" in out
+
+    def test_metrics_execution_alias_warns(self, capsys):
+        from repro.cli import main
+        assert main(["metrics", "--execution", "batch", "--rounds",
+                     "5", "--format", "json"]) == 0
+        err = capsys.readouterr().err
+        assert "deprecated" in err and "--engine" in err
+
+    def test_scenario_engine_flag(self, capsys):
+        from repro.cli import main
+        code = main(["scenario", "run", "scenarios/00-baseline.toml",
+                     "--engine", "batch-v2", "--shards", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[batch-v2]" in out
