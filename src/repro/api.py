@@ -69,14 +69,25 @@ class SimConfig:
         component per round, vectors of cells on the wire);
         ``"batch-v2"`` — the vectorized plane (run-length cell
         vectors with aggregate chaff accounting, shardable across
-        worker processes).  The engines are observationally
-        equivalent: a seeded run produces byte-identical metrics
-        snapshots, traces, and adversary observations under all of
-        them (DESIGN.md §9, §13); they differ only in cost.
+        worker processes); ``"asyncio"`` — the real-network plane
+        (the same round-synchronous protocol, every cell carried as
+        a framed UDP datagram over loopback, DESIGN.md §14).  The
+        engines are observationally equivalent: a seeded run
+        produces byte-identical metrics snapshots, traces, and
+        adversary observations under all of them (DESIGN.md §9,
+        §13); they differ only in cost — and the real-network plane
+        additionally reports host-socket accounting in
+        ``report.detail["net"]``, a side channel like ``perf``.
     shards:
         Worker-process count for shardable engines (``batch-v2``).
         ``None`` / ``1`` runs single-process; requesting ``shards >
         1`` on a non-shardable engine raises ``ValueError``.
+    net_processes:
+        Real-network (``"asyncio"``) plane only: host the UDP
+        receive endpoints in a separate worker process, so every
+        cell datagram genuinely crosses a process boundary
+        (:mod:`repro.net.procs`).  Raises ``ValueError`` on ``"sim"``
+        transports.
     wiretap:
         Live scenario only: materialize the zone's wire plane and tap
         every link with a global passive observer; the observation
@@ -99,7 +110,8 @@ class SimConfig:
                  "n_sps", "k", "zone_id", "zone_specs",
                  "client_prefix", "call_pairs", "chaos",
                  "scenario_def", "trace_path", "trace_buffer",
-                 "execution", "shards", "wiretap", "profile")
+                 "execution", "shards", "net_processes", "wiretap",
+                 "profile")
 
     def __init__(self, *, scenario: str = "live",
                  seed: int = 20150817, n_clients: int = 12,
@@ -113,6 +125,7 @@ class SimConfig:
                  trace_buffer: int = 4096,
                  execution: str = "event",
                  shards: Optional[int] = None,
+                 net_processes: bool = False,
                  wiretap: bool = False,
                  profile: bool = False):
         if scenario_def is not None and scenario == "live":
@@ -124,6 +137,11 @@ class SimConfig:
             raise ValueError(f"scenario must be one of {SCENARIOS}, "
                              f"not {scenario!r}")
         plane_spec = execution_registry.resolve(execution, shards)
+        if net_processes and plane_spec.transport != "udp":
+            raise ValueError(
+                f"net_processes applies to the real-network "
+                f"transport only; plane {plane_spec.name!r} runs "
+                f"on {plane_spec.transport!r}")
         if call_pairs < 0 or 2 * call_pairs > n_clients:
             raise ValueError("call_pairs needs two clients per call")
         self.scenario = scenario
@@ -142,6 +160,7 @@ class SimConfig:
         self.trace_buffer = trace_buffer
         self.execution = plane_spec.name
         self.shards = plane_spec.shards
+        self.net_processes = bool(net_processes)
         self.wiretap = wiretap
         self.profile = profile
 
@@ -289,12 +308,17 @@ class Simulation:
                         n_sps=cfg.n_sps, seed=cfg.seed,
                         zone_id=cfg.zone_id,
                         client_prefix=cfg.client_prefix,
-                        execution=cfg.execution, shards=cfg.shards)
+                        execution=cfg.execution, shards=cfg.shards,
+                        net_processes=cfg.net_processes)
         if self.profiler is not None:
             # Before attach_wire, so the fabric (and its links) picks
             # the profiler up on creation.
             self.profiler.attach_zone(zone)
-        fabric = zone.attach_wire() if cfg.wiretap else None
+        # The real-network plane always materializes the wire — the
+        # datagrams *are* the transport; the simulator planes only
+        # pay for a wire image when an adversary taps it.
+        fabric = zone.attach_wire() \
+            if cfg.wiretap or zone.transport == "udp" else None
         self.scope.use_clock(lambda: float(zone.round_index))
         self.scope.attach_live_zone(zone)
         for caller, callee in self._call_pairs():
@@ -310,7 +334,6 @@ class Simulation:
         detail = {
             "zone_id": cfg.zone_id,
             "engine": cfg.execution,
-            "execution": cfg.execution,
             "shards": cfg.shards,
             "clients_in_call": in_call,
             "calls_blocked": zone.manager.calls_blocked,
@@ -319,17 +342,24 @@ class Simulation:
             # Sharded engines defer tap fan-out to worker processes;
             # the merge restores canonical order (no-op otherwise).
             fabric.finalize()
-            # The adversary's view, as plain tuples: byte-identical
-            # across engines (the equivalence contract); the engine
-            # cost stats beside it are the part that is allowed to —
-            # and should — differ.
-            detail["wiretap"] = {
-                "observations": [
-                    (o.time, o.size, o.src, o.dst)
-                    for o in fabric.observer.observations],
-                "cells_carried": fabric.cells_carried,
-                "wire_events_processed": fabric.events_processed,
-            }
+            if cfg.wiretap:
+                # The adversary's view, as plain tuples:
+                # byte-identical across engines (the equivalence
+                # contract); the engine cost stats beside it are the
+                # part that is allowed to — and should — differ.
+                detail["wiretap"] = {
+                    "observations": [
+                        (o.time, o.size, o.src, o.dst)
+                        for o in fabric.observer.observations],
+                    "cells_carried": fabric.cells_carried,
+                    "wire_events_processed": fabric.events_processed,
+                }
+            net = fabric.net_report()
+            if net is not None:
+                # Host-network side channel (real-socket accounting,
+                # wall-clock latency): like ``perf``, never part of
+                # metrics, traces, or any determinism key.
+                detail["net"] = net
         return zone.round_index, detail
 
     def _run_testbed(self, rounds: int) -> Tuple[int, Dict[str, Any]]:
@@ -410,6 +440,8 @@ class Simulation:
         if until is not None and float(until) != scenario.horizon_s:
             scenario = scenario.with_horizon(float(until))
         outcome = execute(scenario, execution=cfg.execution,
-                          shards=cfg.shards, scope=self.scope,
+                          shards=cfg.shards,
+                          net_processes=cfg.net_processes,
+                          scope=self.scope,
                           profiler=self.profiler)
         return outcome.rounds_run, outcome

@@ -29,14 +29,14 @@ import sys
 from typing import List, Optional
 
 
-class _DeprecatedEngineAlias(argparse.Action):
-    """``--execution`` kept as a warning alias of ``--engine`` for
-    one deprecation cycle."""
+class _RemovedEngineAlias(argparse.Action):
+    """``--execution`` finished its deprecation cycle (PR 9 warned
+    for one cycle); using it is now a hard parse error pointing at
+    ``--engine``."""
 
     def __call__(self, parser, namespace, values, option_string=None):
-        print(f"warning: {option_string} is deprecated; use --engine",
-              file=sys.stderr)
-        setattr(namespace, self.dest, values)
+        parser.error(f"{option_string} was removed after its "
+                     f"deprecation cycle; use --engine")
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -153,6 +153,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                        call_pairs=args.pairs,
                        trace_path=args.trace,
                        execution=args.engine, shards=args.shards,
+                       net_processes=args.net_processes,
                        profile=args.profile)
     report = Simulation(config).run(rounds=args.rounds)
     if args.format == "json":
@@ -257,13 +258,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="execution engine (the metrics are "
                            "byte-identical; batch engines run faster)")
     p_metrics.add_argument("--execution", dest="engine",
-                           action=_DeprecatedEngineAlias,
-                           choices=execution_registry.plane_names(),
-                           help="deprecated alias of --engine (one "
-                           "deprecation cycle)")
+                           action=_RemovedEngineAlias,
+                           nargs=1, metavar="ENGINE",
+                           help=argparse.SUPPRESS)
     p_metrics.add_argument("--shards", type=int, default=None,
                            help="worker-process count for shardable "
                            "engines (batch-v2)")
+    p_metrics.add_argument("--processes", dest="net_processes",
+                           action="store_true",
+                           help="asyncio engine only: host the UDP "
+                           "receive endpoints in a separate worker "
+                           "process")
     p_metrics.add_argument("--profile", action="store_true",
                            help="attach the phase profiler; per-phase "
                            "wall time prints to stderr (metrics "

@@ -30,6 +30,15 @@ class WireError(ValueError):
     """Raised for any malformed control message."""
 
 
+class WireFormatError(WireError):
+    """Raised for any malformed datagram *frame* (truncated header,
+    trailing bytes, oversized payload, bad magic/version/kind).  A
+    subclass of :class:`WireError` so existing handlers keep working;
+    typed separately so the socket plane can distinguish "garbage on
+    the wire" from "well-framed but bad control message" — and so no
+    raw ``struct.error`` ever escapes a decoder."""
+
+
 MSG_CREATE = 0x01
 MSG_CREATED = 0x02
 MSG_JOIN_REQUEST = 0x03
@@ -269,3 +278,106 @@ def decode_call_setup(data: bytes) -> CallSetup:
     if len(ephemeral) != 32:
         raise WireError("ephemeral key must be 32 bytes")
     return CallSetup(msg_type == MSG_ACCEPT, call_id, ephemeral)
+
+
+# -- datagram cell framing (the real-network plane, DESIGN.md §14) -------------
+#
+# On the UDP transport every cell of the round engine rides one real
+# datagram.  The frame is a fixed header plus length-prefixed fields:
+#
+#   magic(2) version(1) kind(1) round(u32) run(u32) seq(u32)
+#   src(len16+bytes) dst(len16+bytes) payload(len16+bytes)
+#
+# ``round``/``run``/``seq`` are the emission coordinates the socket
+# bridge uses to restore canonical tap order: ``run`` is the global
+# index of the cell's emission run within its round (exactly the row
+# index of the batch-v2 run table) and ``seq`` the cell's index inside
+# the run.  Decoding is strict — short reads, trailing bytes, a bad
+# magic/version, or an unknown kind code raise
+# :class:`WireFormatError`, never ``struct.error``.
+
+FRAME_MAGIC = b"HD"
+FRAME_VERSION = 1
+#: Emission kinds carried on the wire plane, fixed codes (the codes
+#: are transport-internal: a tap never sees them — invariant I6).
+FRAME_KINDS = ("data", "up", "xor", "down", "bcast", "chaff")
+_KIND_CODE = {kind: i for i, kind in enumerate(FRAME_KINDS)}
+_KIND_NAME = {i: kind for i, kind in enumerate(FRAME_KINDS)}
+
+_U32 = struct.Struct("<I")
+#: Largest payload a frame accepts: a safe single-datagram size on
+#: loopback (IPv4 localhost MTU is 64 KiB; this leaves header room).
+MAX_FRAME_PAYLOAD = 60_000
+
+
+@dataclass(frozen=True)
+class CellFrame:
+    """One decoded datagram of the UDP cell plane."""
+
+    round_index: int
+    run: int
+    seq: int
+    kind: str
+    src: str
+    dst: str
+    payload: bytes
+
+
+def encode_cell_frame(frame: CellFrame) -> bytes:
+    """Serialize one cell for the wire; inverse of
+    :func:`decode_cell_frame`."""
+    kind_code = _KIND_CODE.get(frame.kind)
+    if kind_code is None:
+        raise WireFormatError(f"unknown frame kind {frame.kind!r}")
+    if len(frame.payload) > MAX_FRAME_PAYLOAD:
+        raise WireFormatError(
+            f"payload of {len(frame.payload)} bytes exceeds the "
+            f"{MAX_FRAME_PAYLOAD}-byte frame limit")
+    out: List[bytes] = [FRAME_MAGIC,
+                        bytes([FRAME_VERSION, kind_code]),
+                        _U32.pack(frame.round_index),
+                        _U32.pack(frame.run),
+                        _U32.pack(frame.seq)]
+    _put_bytes(out, frame.src.encode("utf-8"))
+    _put_bytes(out, frame.dst.encode("utf-8"))
+    _put_bytes(out, frame.payload)
+    return b"".join(out)
+
+
+def decode_cell_frame(data: bytes) -> CellFrame:
+    """Parse one datagram back into a :class:`CellFrame`; any
+    malformation raises :class:`WireFormatError`."""
+    reader = _Reader(data)
+    try:
+        magic = reader.take(2)
+        if magic != FRAME_MAGIC:
+            raise WireFormatError(
+                f"bad frame magic {magic.hex() or '(empty)'}")
+        version, kind_code = reader.take(2)
+        if version != FRAME_VERSION:
+            raise WireFormatError(f"unsupported frame version "
+                                  f"{version}")
+        kind = _KIND_NAME.get(kind_code)
+        if kind is None:
+            raise WireFormatError(f"unknown frame kind code "
+                                  f"0x{kind_code:02x}")
+        round_index = _U32.unpack(reader.take(4))[0]
+        run = _U32.unpack(reader.take(4))[0]
+        seq = _U32.unpack(reader.take(4))[0]
+        src = reader.field().decode("utf-8")
+        dst = reader.field().decode("utf-8")
+        payload = reader.field()
+        reader.finish()
+    except WireFormatError:
+        raise
+    except WireError as exc:
+        raise WireFormatError(str(exc)) from exc
+    except UnicodeDecodeError as exc:
+        raise WireFormatError(
+            f"frame name field is not UTF-8: {exc}") from exc
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise WireFormatError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_PAYLOAD}-byte frame limit")
+    return CellFrame(round_index=round_index, run=run, seq=seq,
+                     kind=kind, src=src, dst=dst, payload=payload)

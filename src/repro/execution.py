@@ -27,9 +27,19 @@ A plane is described by two orthogonal modes plus a shard capability:
   sharded wire plane fans round segments out to workers and merges
   results deterministically (:mod:`repro.netsim.shards`).
 
-Built-in planes: ``"event"``, ``"batch"``, and ``"batch-v2"`` (the
-vectorized, shardable plane).  The asyncio transport (ROADMAP item 3)
-registers here too when it lands — that is the point of the registry.
+A third orthogonal axis, ``transport``, says what physically carries
+the wire image: ``"sim"`` (the in-memory :class:`~repro.simulation
+.roundsync.WireFabric` over netsim links) or ``"udp"`` (the
+real-network plane: cells framed by :mod:`repro.core.wire` ride real
+UDP datagrams between per-node ``asyncio`` endpoints, bootstrapped by
+the :mod:`repro.net.introducer`).  Protocol code never branches on the
+transport — :func:`create_wire_fabric` is the single seam where a
+resolved plane becomes a concrete :class:`~repro.core.transport
+.CellTransport`.
+
+Built-in planes: ``"event"``, ``"batch"``, ``"batch-v2"`` (the
+vectorized, shardable plane), and ``"asyncio"`` (same protocol, real
+UDP sockets over loopback — ROADMAP item 3, DESIGN.md §14).
 """
 
 from __future__ import annotations
@@ -38,7 +48,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 ZONE_MODES = ("event", "batch")
-WIRE_MODES = ("event", "batch", "vector")
+WIRE_MODES = ("event", "batch", "vector", "socket")
+TRANSPORTS = ("sim", "udp")
 
 
 @dataclass(frozen=True)
@@ -55,6 +66,10 @@ class ExecutionPlane:
     wire_mode: str
     supports_shards: bool = False
     description: str = ""
+    #: What physically carries the wire image: ``"sim"`` (in-memory
+    #: netsim links) or ``"udp"`` (real loopback datagrams between
+    #: asyncio endpoints).
+    transport: str = "sim"
 
     def __post_init__(self) -> None:
         if self.zone_mode not in ZONE_MODES:
@@ -63,6 +78,9 @@ class ExecutionPlane:
         if self.wire_mode not in WIRE_MODES:
             raise ValueError(f"wire_mode must be one of {WIRE_MODES}, "
                              f"not {self.wire_mode!r}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}, "
+                             f"not {self.transport!r}")
 
 
 @dataclass(frozen=True)
@@ -83,6 +101,10 @@ class PlaneSpec:
     @property
     def wire_mode(self) -> str:
         return self.plane.wire_mode
+
+    @property
+    def transport(self) -> str:
+        return self.plane.transport
 
 
 _REGISTRY: Dict[str, ExecutionPlane] = {}
@@ -143,3 +165,48 @@ register_plane(ExecutionPlane(
     description="vectorized rounds: run-length CellVector segments "
                 "with aggregate chaff accounting, shardable across "
                 "worker processes with a deterministic merge"))
+register_plane(ExecutionPlane(
+    name="asyncio", zone_mode="batch", wire_mode="socket",
+    transport="udp",
+    description="real-network plane: the same round-synchronous "
+                "protocol, but every cell rides a framed UDP "
+                "datagram between per-node asyncio endpoints over "
+                "loopback, bootstrapped by an introducer "
+                "(DESIGN.md §14)"))
+
+
+def create_wire_fabric(execution: str, *, seed: int = 0,
+                       interval: Optional[float] = None,
+                       observer=None, shards: Optional[int] = None,
+                       shard_processes: Optional[bool] = None,
+                       net_processes: Optional[bool] = None):
+    """The transport seam: build the concrete
+    :class:`~repro.core.transport.CellTransport` for a resolved plane.
+
+    ``"sim"`` transports get a :class:`~repro.simulation.roundsync
+    .WireFabric`; ``"udp"`` transports get a :class:`~repro.net
+    .transport.UdpFabric` (real loopback datagrams).  Protocol code
+    (:class:`~repro.simulation.live.LiveZone`, the scenario engine,
+    the bench runner) calls this instead of importing either module —
+    imports happen lazily here, so the simulator never pays for the
+    socket plane and vice versa.
+
+    ``net_processes`` applies only to the UDP plane (host the receive
+    endpoints in a separate worker process); ``shards`` /
+    ``shard_processes`` only to shardable simulator planes.
+    """
+    spec = resolve(execution, shards)
+    if interval is None:
+        from repro.simulation.roundsync import \
+            DEFAULT_ROUND_INTERVAL_S
+        interval = DEFAULT_ROUND_INTERVAL_S
+    if spec.transport == "udp":
+        from repro.net.transport import UdpFabric
+        return UdpFabric(seed=seed, interval=interval,
+                         observer=observer,
+                         processes=bool(net_processes))
+    from repro.simulation.roundsync import WireFabric
+    return WireFabric(seed=seed, interval=interval,
+                      execution=spec.name, observer=observer,
+                      shards=spec.shards,
+                      shard_processes=shard_processes)

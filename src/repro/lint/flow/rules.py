@@ -25,7 +25,9 @@ from repro.lint.flow.program import MODULE_FUNC, FlowProgram
 #: Directory segments that make up the shardable protocol plane —
 #: anything here runs inside zone worker processes once open item 1
 #: (ROADMAP) lands, so module-level mutable state is unshardable.
-_PROTOCOL_SCOPE = ("core", "netsim", "simulation", "scenario")
+#: ``net`` (the real-UDP transport) forks into receive workers under
+#: ``--processes``, so it is held to the same standard.
+_PROTOCOL_SCOPE = ("core", "netsim", "simulation", "scenario", "net")
 
 _SINK_DESCRIPTIONS = {
     "fstring": "interpolated into an f-string",

@@ -1,0 +1,295 @@
+"""The introducer: directory bootstrap over real UDP datagrams.
+
+Tahoe-LAFS bootstraps its grid with an *introducer*: every node
+announces ``(name, furl)`` to one well-known endpoint and subscribers
+fetch the accumulated announcements.  The real-network plane
+(DESIGN.md §14) uses the same shape for address discovery — the
+simulator's :class:`~repro.core.directory.ZoneDirectory` still owns
+the *protocol* directory (SP membership, rates, certificates); the
+introducer only maps node names to UDP addresses, which is exactly
+the piece that does not exist until there are real sockets.
+
+Four message types, carried in single datagrams with their own magic
+(``HI``) so a cell frame can never be confused for a control message
+(and vice versa — both decoders reject the other's magic with a typed
+:class:`~repro.core.wire.WireFormatError`):
+
+* ``ANNOUNCE(seq, name, host, port)`` — a node publishes its receive
+  address; re-announcing a name overwrites (last write wins, like a
+  re-started tahoe node).
+* ``ACK(seq, size)`` — the introducer's receipt, echoing the
+  announcement's sequence number plus the directory size, so an
+  announcer can retransmit lost announcements idempotently.
+* ``GETDIR(seq)`` — fetch the directory.
+* ``DIRECTORY(seq, {name: (host, port)})`` — the reply, echoing the
+  request's sequence number.
+
+Everything is datagram-lossy and idempotent: clients retransmit on an
+:func:`asyncio.wait_for` timeout, bounded by ``attempts``.  The
+introducer itself is pure asyncio (no threads, no blocking calls —
+herdlint HL102 gates this package) and never reads the host clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.wire import (WireError, WireFormatError, _put_bytes,
+                             _Reader, _U32)
+
+INTRO_MAGIC = b"HI"
+INTRO_VERSION = 1
+
+#: Introducer message kinds, fixed codes.  This is a transport-plane
+#: namespace, deliberately separate from ``core.wire.MESSAGE_TYPES``:
+#: the HL006 dispatch-exhaustiveness contract covers protocol
+#: messages every role must handle, while these never leave the
+#: introducer round-trip.
+INTRO_TYPES = ("announce", "ack", "getdir", "directory")
+_INTRO_CODE = {name: i for i, name in enumerate(INTRO_TYPES)}
+_INTRO_NAME = {i: name for i, name in enumerate(INTRO_TYPES)}
+
+#: Default per-attempt reply timeout (seconds) and attempt bound for
+#: the loopback deployments this plane targets.
+DEFAULT_TIMEOUT_S = 0.5
+DEFAULT_ATTEMPTS = 10
+
+
+def _encode_header(kind: str, seq: int) -> List[bytes]:
+    return [INTRO_MAGIC, bytes([INTRO_VERSION, _INTRO_CODE[kind]]),
+            _U32.pack(seq)]
+
+
+def _put_str(out: List[bytes], text: str) -> None:
+    _put_bytes(out, text.encode("utf-8"))
+
+
+def encode_announce(seq: int, name: str, host: str,
+                    port: int) -> bytes:
+    out = _encode_header("announce", seq)
+    _put_str(out, name)
+    _put_str(out, host)
+    out.append(_U32.pack(port))
+    return b"".join(out)
+
+
+def encode_ack(seq: int, size: int) -> bytes:
+    out = _encode_header("ack", seq)
+    out.append(_U32.pack(size))
+    return b"".join(out)
+
+
+def encode_getdir(seq: int) -> bytes:
+    return b"".join(_encode_header("getdir", seq))
+
+
+def encode_directory(seq: int,
+                     entries: Dict[str, Tuple[str, int]]) -> bytes:
+    out = _encode_header("directory", seq)
+    out.append(_U32.pack(len(entries)))
+    for name, (host, port) in entries.items():
+        _put_str(out, name)
+        _put_str(out, host)
+        out.append(_U32.pack(port))
+    return b"".join(out)
+
+
+def decode_intro(data: bytes) -> Tuple[str, int, tuple]:
+    """Parse one introducer datagram into ``(kind, seq, body)``.
+
+    ``body`` by kind: ``announce`` → ``(name, host, port)``; ``ack``
+    → ``(size,)``; ``getdir`` → ``()``; ``directory`` →
+    ``({name: (host, port)},)``.  Any malformation — wrong magic,
+    truncation, trailing bytes — raises :class:`WireFormatError`.
+    """
+    reader = _Reader(data)
+    try:
+        magic = reader.take(2)
+        if magic != INTRO_MAGIC:
+            raise WireFormatError(
+                f"bad introducer magic {magic.hex() or '(empty)'}")
+        version, code = reader.take(2)
+        if version != INTRO_VERSION:
+            raise WireFormatError(
+                f"unsupported introducer version {version}")
+        kind = _INTRO_NAME.get(code)
+        if kind is None:
+            raise WireFormatError(
+                f"unknown introducer message code 0x{code:02x}")
+        seq = _U32.unpack(reader.take(4))[0]
+        if kind == "announce":
+            name = reader.field().decode("utf-8")
+            host = reader.field().decode("utf-8")
+            port = _U32.unpack(reader.take(4))[0]
+            body: tuple = (name, host, port)
+        elif kind == "ack":
+            body = (_U32.unpack(reader.take(4))[0],)
+        elif kind == "getdir":
+            body = ()
+        else:
+            n = _U32.unpack(reader.take(4))[0]
+            entries: Dict[str, Tuple[str, int]] = {}
+            for _ in range(n):
+                name = reader.field().decode("utf-8")
+                host = reader.field().decode("utf-8")
+                port = _U32.unpack(reader.take(4))[0]
+                entries[name] = (host, port)
+            body = (entries,)
+        reader.finish()
+    except WireFormatError:
+        raise
+    except WireError as exc:
+        raise WireFormatError(str(exc)) from exc
+    except UnicodeDecodeError as exc:
+        raise WireFormatError(
+            f"introducer name field is not UTF-8: {exc}") from exc
+    return kind, seq, body
+
+
+class _IntroducerProtocol(asyncio.DatagramProtocol):
+    """Server side: answer ANNOUNCE with ACK, GETDIR with
+    DIRECTORY.  Malformed datagrams are counted and dropped — an
+    introducer must never crash on wire garbage."""
+
+    def __init__(self, owner: "Introducer"):
+        self._owner = owner
+        self._transport: Optional[
+            asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:
+        self._transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        owner = self._owner
+        try:
+            kind, seq, body = decode_intro(data)
+        except WireFormatError:
+            owner.malformed += 1
+            return
+        if kind == "announce":
+            name, host, port = body
+            owner.directory[name] = (host, port)
+            owner.announcements += 1
+            reply = encode_ack(seq, len(owner.directory))
+        elif kind == "getdir":
+            owner.directory_fetches += 1
+            reply = encode_directory(seq, owner.directory)
+        else:
+            # ACK/DIRECTORY are replies; an introducer receiving one
+            # is a confused peer, not an error worth crashing for.
+            owner.malformed += 1
+            return
+        if self._transport is not None:
+            self._transport.sendto(reply, addr)
+
+
+class Introducer:
+    """The directory-bootstrap endpoint of one real-network run.
+
+    Owns one UDP socket on ``host`` (ephemeral port by default);
+    :attr:`address` is what every node gets told at spawn time, and
+    :attr:`directory` accumulates the announced name → address map.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self.directory: Dict[str, Tuple[str, int]] = {}
+        self.announcements = 0
+        self.directory_fetches = 0
+        self.malformed = 0
+        self._transport: Optional[
+            asyncio.DatagramTransport] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the socket and return the bound ``(host, port)``."""
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: _IntroducerProtocol(self),
+            local_addr=(self.host, self.port))
+        self._transport = transport
+        self.host, self.port = \
+            transport.get_extra_info("sockname")[:2]
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+
+class _RequestProtocol(asyncio.DatagramProtocol):
+    """Client side of one request/reply round-trip: the first
+    well-formed reply matching the expected kind and sequence number
+    resolves the future; everything else is ignored (stale
+    retransmitted replies carry old sequence numbers)."""
+
+    def __init__(self, expect_kind: str, expect_seq: int,
+                 future: "asyncio.Future"):
+        self._expect = (expect_kind, expect_seq)
+        self._future = future
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        try:
+            kind, seq, body = decode_intro(data)
+        except WireFormatError:
+            return
+        if (kind, seq) == self._expect and \
+                not self._future.done():
+            self._future.set_result(body)
+
+
+async def _request(address: Tuple[str, int], payload: bytes,
+                   expect_kind: str, expect_seq: int,
+                   timeout: float, attempts: int) -> tuple:
+    """Send ``payload`` to the introducer and await the matching
+    reply, retransmitting on timeout up to ``attempts`` times."""
+    loop = asyncio.get_running_loop()
+    future: "asyncio.Future" = loop.create_future()
+    transport, _ = await loop.create_datagram_endpoint(
+        lambda: _RequestProtocol(expect_kind, expect_seq, future),
+        remote_addr=address)
+    try:
+        for attempt in range(attempts):
+            transport.sendto(payload)
+            try:
+                return await asyncio.wait_for(
+                    asyncio.shield(future), timeout)
+            except asyncio.TimeoutError:
+                continue
+        raise IntroducerUnreachable(
+            f"no {expect_kind} reply from introducer at "
+            f"{address[0]}:{address[1]} after {attempts} attempts")
+    finally:
+        transport.close()
+
+
+class IntroducerUnreachable(ConnectionError):
+    """The introducer did not answer within the attempt budget."""
+
+
+async def announce(address: Tuple[str, int], seq: int, name: str,
+                   host: str, port: int,
+                   timeout: float = DEFAULT_TIMEOUT_S,
+                   attempts: int = DEFAULT_ATTEMPTS) -> int:
+    """Announce ``name`` at ``(host, port)``; returns the directory
+    size the introducer acknowledged."""
+    body = await _request(address,
+                          encode_announce(seq, name, host, port),
+                          "ack", seq, timeout, attempts)
+    return body[0]
+
+
+async def fetch_directory(address: Tuple[str, int], seq: int,
+                          timeout: float = DEFAULT_TIMEOUT_S,
+                          attempts: int = DEFAULT_ATTEMPTS
+                          ) -> Dict[str, Tuple[str, int]]:
+    """Fetch the announced name → ``(host, port)`` map."""
+    body = await _request(address, encode_getdir(seq),
+                          "directory", seq, timeout, attempts)
+    return body[0]

@@ -94,14 +94,17 @@ def run_backbone(execution: str, n_clients: int,
     trunk carries one cell per attached client in each direction —
     run-length vectors on batch-v2, ``append_repeated`` batches on
     the batch engine, per-cell packets and heap events on the event
-    engine.  ``shards`` fans the vector plane out over worker
-    processes; the mandatory :meth:`WireFabric.finalize` merge is
-    timed as part of the run.
+    engine, and one loopback UDP datagram per cell on the real-network
+    ``asyncio`` plane.  ``shards`` fans the vector plane out over
+    worker processes; the mandatory ``finalize`` merge is timed as
+    part of the run.  The fabric comes from the transport seam
+    (:func:`repro.execution.create_wire_fabric`), so this module
+    never imports the simulator or the socket plane directly.
     """
-    from repro.simulation.roundsync import WireFabric
+    from repro import execution as execution_registry
 
-    fabric = WireFabric(seed=1, execution=execution,
-                        observer=TallyObserver(), shards=shards)
+    fabric = execution_registry.create_wire_fabric(
+        execution, seed=1, observer=TallyObserver(), shards=shards)
     if profiler is not None:
         profiler.attach_fabric(fabric)
     n_sps = max(1, n_clients // clients_per_sp)
@@ -151,6 +154,9 @@ ENGINE_CAPS: Dict[str, int] = {
     "event": 500,
     "batch": 100_000,
     "batch-v2": 1_000_000,
+    # Real loopback UDP pays one datagram per cell plus a round
+    # barrier, so its ladder stops with the event engine's.
+    "asyncio": 500,
 }
 
 
@@ -231,7 +237,10 @@ def run_scaling_bench(
 
     Each engine climbs the ``client_counts`` ladder up to its
     :data:`ENGINE_CAPS` cap.  ``shards`` applies only to shardable
-    engines (batch-v2).  The timed sweep runs unprofiled, repeating
+    engines (batch-v2).  Real-network engines (``asyncio``) are
+    swept the same way but recorded under the separate
+    ``net_engines`` schema key — loopback throughput is host-network
+    data and must not move the simulator regression gates.  The timed sweep runs unprofiled, repeating
     each point to :data:`MIN_POINT_WALL_S` and keeping the fastest
     run.  When
     ``with_phases`` is set, one additional *profiled* run per engine
@@ -266,6 +275,16 @@ def run_scaling_bench(
             for n in ladder]
     results = {engine: results[engine] for engine in engines}
 
+    # Real-network engines land under their own schema key: the
+    # compare gates only read "engines" / "speedup_*", so loopback
+    # cells/sec never moves a simulator trajectory gate.
+    sim_results = {
+        e: runs for e, runs in results.items()
+        if execution_registry.get_plane(e).transport == "sim"}
+    net_results = {
+        e: runs for e, runs in results.items()
+        if execution_registry.get_plane(e).transport == "udp"}
+
     entry: Dict[str, Any] = {
         "provenance": provenance(timestamp_utc),
         "workload": WORKLOAD.format(rounds=rounds,
@@ -274,12 +293,16 @@ def run_scaling_bench(
         "rounds": rounds,
         "engine_caps": {e: ENGINE_CAPS[e] for e in engines
                         if e in ENGINE_CAPS},
-        "engines": results,
+        "engines": sim_results,
         "speedup_cells_per_sec": _ratio_map(
-            results.get("batch", ()), results.get("event", ())),
+            sim_results.get("batch", ()),
+            sim_results.get("event", ())),
         "speedup_v2_over_batch": _ratio_map(
-            results.get("batch-v2", ()), results.get("batch", ())),
+            sim_results.get("batch-v2", ()),
+            sim_results.get("batch", ())),
     }
+    if net_results:
+        entry["net_engines"] = net_results
 
     if with_phases and any(results.values()):
         phases: Dict[str, Any] = {}

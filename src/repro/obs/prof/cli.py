@@ -112,6 +112,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 key=lambda kv: int(kv[0])):
             print(f"  {n_clients:>8s} clients: {label} speedup "
                   f"{speedup:.1f}x")
+    for engine, runs in sorted(entry.get("net_engines", {}).items()):
+        if runs:
+            last = runs[-1]
+            print(f"  {engine} loopback UDP: "
+                  f"{last['cells_per_sec']:,.0f} cells/sec at "
+                  f"{last['clients']} clients (net_engines key; "
+                  f"not gated)")
     if "profiler_overhead" in entry:
         oh = entry["profiler_overhead"]
         print(f"  profiler attached overhead at {oh['clients']} "

@@ -22,16 +22,14 @@ from repro.scenario.loader import load_corpus, load_scenario
 from repro.scenario.model import Scenario, ScenarioError
 
 
-class _DeprecatedEngineAlias(argparse.Action):
-    """``--execution`` kept as a warning alias of ``--engine`` for
-    one deprecation cycle."""
+class _RemovedEngineAlias(argparse.Action):
+    """``--execution`` finished its deprecation cycle (PR 9 warned
+    for one cycle); using it is now a hard parse error pointing at
+    ``--engine``."""
 
     def __call__(self, parser, namespace, values, option_string=None):
-        print(f"warning: {option_string} is deprecated; use --engine",
-              file=sys.stderr)
-        items = list(getattr(namespace, self.dest) or ())
-        items.append(values)
-        setattr(namespace, self.dest, items)
+        parser.error(f"{option_string} was removed after its "
+                     f"deprecation cycle; use --engine")
 
 
 def add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -50,14 +48,17 @@ def add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                        "one, determinism keys must match across "
                        "engines.")
     p_run.add_argument("--execution", dest="engine",
-                       action=_DeprecatedEngineAlias,
-                       choices=execution_registry.plane_names(),
-                       default=None,
-                       help="deprecated alias of --engine (one "
-                       "deprecation cycle)")
+                       action=_RemovedEngineAlias,
+                       nargs=1, metavar="ENGINE",
+                       help=argparse.SUPPRESS)
     p_run.add_argument("--shards", type=int, default=None,
                        help="worker-process count for shardable "
                        "engines (batch-v2)")
+    p_run.add_argument("--processes", dest="net_processes",
+                       action="store_true",
+                       help="asyncio engine only: host the UDP "
+                       "receive endpoints in a separate worker "
+                       "process")
     p_run.add_argument("--report-dir", default=None,
                        help="write one <scenario>.json report "
                        "artifact per scenario here")
@@ -106,9 +107,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         plane = execution_registry.get_plane(engine)
         return args.shards if plane.supports_shards else None
 
+    def procs_for(engine: str) -> bool:
+        # --processes applies to the real-network engine(s) of the
+        # set; a simulator engine beside them just runs in-process.
+        plane = execution_registry.get_plane(engine)
+        return args.net_processes and plane.transport == "udp"
+
     for scenario in scenarios:
         reports = [run_scenario(scenario, execution=engine,
                                 shards=shards_for(engine),
+                                net_processes=procs_for(engine),
                                 profile=args.profile)
                    for engine in engines]
         keys = {r.determinism_key for r in reports}

@@ -74,6 +74,12 @@ class ScenarioOutcome:
     #: ``observations`` are engine-invariant; the ``*_processed``
     #: cost stats beside them are allowed to differ per engine.
     wiretap: Optional[Dict[str, object]] = None
+    #: host-network side channel of the real-network plane (None on
+    #: simulator transports): datagram accounting and wall-clock
+    #: latency.  Like ``perf``, never part of any determinism
+    #: surface — :func:`~repro.scenario.report.outcome_fingerprint`
+    #: must not fold it in.
+    net: Optional[Dict[str, object]] = None
     invariant_violations: Tuple[str, ...] = ()
 
     # -- derived survival metrics (shared with ChaosReport) ------------------
@@ -126,10 +132,12 @@ def _sp_scope_of(spec: FaultSpec) -> Optional[str]:
 
 def execute(scenario: Scenario, *, execution: str = "event",
             shards: Optional[int] = None,
+            net_processes: Optional[bool] = None,
             scope=None, profiler=None) -> ScenarioOutcome:
     """Run one scenario end to end on the given execution engine
     (any name registered with :mod:`repro.execution`; ``shards``
-    applies to shardable engines like ``batch-v2``).
+    applies to shardable engines like ``batch-v2``,
+    ``net_processes`` to the real-network ``asyncio`` plane).
 
     ``scope`` is an optional :class:`repro.obs.instrument.Herdscope`
     wired into the loop, zone, and injector (metrics + traces).
@@ -138,7 +146,7 @@ def execute(scenario: Scenario, *, execution: str = "event",
     host-time side channel that never feeds the outcome (so the
     determinism key is byte-identical with or without it).
     """
-    execution_registry.resolve(execution, shards)
+    plane_spec = execution_registry.resolve(execution, shards)
     shape = scenario.zone
     plan = scenario.plan()
     loop = EventLoop(seed=scenario.seed)
@@ -149,7 +157,8 @@ def execute(scenario: Scenario, *, execution: str = "event",
                     n_sps=shape.n_sps, seed=scenario.seed, bed=bed,
                     zone_id=LIVE_ZONE,
                     client_prefix=shape.client_prefix,
-                    execution=execution, shards=shards)
+                    execution=execution, shards=shards,
+                    net_processes=net_processes)
     for i in range(shape.n_direct_clients):
         bed.add_client(f"ctl-{i}", CTL_ZONE)
 
@@ -265,8 +274,12 @@ def execute(scenario: Scenario, *, execution: str = "event",
     injector.on_overload.append(on_overload)
 
     # -- the passive adversary ----------------------------------------------
+    # The real-network plane always materializes the wire (the
+    # datagrams are the transport); simulator planes only pay for a
+    # wire image when the adversary taps it.
     fabric = zone.attach_wire() \
-        if scenario.adversary.kind == "wiretap" else None
+        if scenario.adversary.kind == "wiretap" \
+        or plane_spec.transport == "udp" else None
 
     plan.compile_onto(loop, injector)
 
@@ -408,16 +421,19 @@ def execute(scenario: Scenario, *, execution: str = "event",
             break
 
     wiretap = None
+    net = None
     if fabric is not None:
         # Sharded engines defer tap fan-out; the merge restores the
         # canonical observation order (no-op otherwise).
         fabric.finalize()
-        wiretap = {
-            "observations": [(o.time, o.size, o.src, o.dst)
-                             for o in fabric.observer.observations],
-            "cells_carried": fabric.cells_carried,
-            "wire_events_processed": fabric.events_processed,
-        }
+        if scenario.adversary.kind == "wiretap":
+            wiretap = {
+                "observations": [(o.time, o.size, o.src, o.dst)
+                                 for o in fabric.observer.observations],
+                "cells_carried": fabric.cells_carried,
+                "wire_events_processed": fabric.events_processed,
+            }
+        net = fabric.net_report()
 
     return ScenarioOutcome(
         plan_signature=plan.signature(),
@@ -435,5 +451,6 @@ def execute(scenario: Scenario, *, execution: str = "event",
         calls_blocked=counts["blocked"],
         churn_stats=churn_stats,
         wiretap=wiretap,
+        net=net,
         invariant_violations=tuple(violations),
     )

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import warnings
 from typing import Any, Dict, List, Optional
 
 from repro.api import RunReport, SimConfig, Simulation
@@ -125,8 +124,9 @@ class ScenarioReport(RunReport):
 
     The execution engine lives in the inherited :attr:`~repro.api
     .RunReport.engine` / :attr:`~repro.api.RunReport.shards` fields —
-    the same vocabulary as the ``--engine`` / ``--shards`` CLI flags;
-    :attr:`execution` remains as a deprecated alias for one cycle."""
+    the same vocabulary as the ``--engine`` / ``--shards`` CLI
+    flags.  The ``execution`` alias completed its deprecation cycle
+    (PR 9 warned; this release removes): reading it raises."""
 
     __slots__ = ("name", "scenario_signature",
                  "plan_signature", "survival", "timeline",
@@ -172,13 +172,14 @@ class ScenarioReport(RunReport):
 
     @property
     def execution(self) -> str:
-        """Deprecated alias of :attr:`~repro.api.RunReport.engine`
-        (one deprecation cycle; the CLI and artifact vocabulary is
-        ``engine``)."""
-        warnings.warn(
-            "ScenarioReport.execution is deprecated; use "
-            "ScenarioReport.engine", DeprecationWarning, stacklevel=2)
-        return self.engine
+        """Removed alias of :attr:`~repro.api.RunReport.engine`.
+
+        PR 9 deprecated it with a warning for one cycle; the cycle is
+        complete, so reading it now raises instead of silently
+        shadowing the canonical vocabulary."""
+        raise AttributeError(
+            "ScenarioReport.execution was removed after its "
+            "deprecation cycle; use ScenarioReport.engine")
 
     @property
     def passed(self) -> bool:
@@ -198,9 +199,6 @@ class ScenarioReport(RunReport):
             "name": self.name,
             "engine": self.engine,
             "shards": self.shards,
-            # Deprecated alias of "engine", kept for one cycle so
-            # existing artifact consumers keep parsing.
-            "execution": self.engine,
             "seed": self.seed,
             "scenario_signature": self.scenario_signature,
             "plan_signature": self.plan_signature,
@@ -214,6 +212,11 @@ class ScenarioReport(RunReport):
         }
         if self.perf is not None:
             artifact["perf"] = self.perf
+        outcome: ScenarioOutcome = self.detail
+        if outcome.net is not None:
+            # Real-network side channel: beside the determinism
+            # surface, exactly like perf.
+            artifact["net"] = outcome.net
         return artifact
 
     def __repr__(self) -> str:
@@ -229,21 +232,25 @@ class ScenarioReport(RunReport):
 
 def run_scenario(scenario: Scenario, *, execution: str = "event",
                  shards: Optional[int] = None,
+                 net_processes: bool = False,
                  trace_path: Optional[str] = None,
                  trace_buffer: int = 0,
                  profile: bool = False) -> ScenarioReport:
     """Run one scenario through the :class:`Simulation` facade.
 
     ``execution`` is any engine name registered with
-    :mod:`repro.execution`; ``shards`` applies to shardable engines.
-    ``profile=True`` attaches a phase profiler; the per-phase
-    breakdown lands in ``report.perf`` (and the CLI artifact's
-    ``perf`` section) without changing the determinism key."""
+    :mod:`repro.execution`; ``shards`` applies to shardable engines,
+    ``net_processes`` to the real-network ``asyncio`` plane (receive
+    endpoints in a separate worker process).  ``profile=True``
+    attaches a phase profiler; the per-phase breakdown lands in
+    ``report.perf`` (and the CLI artifact's ``perf`` section)
+    without changing the determinism key."""
     sim = Simulation(SimConfig(scenario="scenario",
                                scenario_def=scenario,
                                seed=scenario.seed,
                                execution=execution,
                                shards=shards,
+                               net_processes=net_processes,
                                trace_path=trace_path,
                                trace_buffer=trace_buffer,
                                profile=profile))

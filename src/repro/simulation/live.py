@@ -28,14 +28,14 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 from repro import execution as execution_registry
+from repro.core.transport import CellTransport
 from repro.core.callmanager import CallState, ClientCallAgent, \
     FailoverRecord, MixCallManager
 from repro.core.channel import decode_manifest
 from repro.core.join import join_zone
 from repro.core.client import HerdClient
 from repro.core.shedding import LoadShedder
-from repro.simulation.roundsync import DEFAULT_ROUND_INTERVAL_S, \
-    WireFabric
+from repro.simulation.roundsync import DEFAULT_ROUND_INTERVAL_S
 from repro.simulation.testbed import HerdTestbed, build_testbed
 
 
@@ -69,7 +69,8 @@ class LiveZone:
                  client_prefix: str = "client",
                  execution: str = "event",
                  shards: Optional[int] = None,
-                 shard_processes: Optional[bool] = None):
+                 shard_processes: Optional[bool] = None,
+                 net_processes: Optional[bool] = None):
         if n_sps < 1:
             raise ValueError("need at least one superpeer")
         if n_sps > n_channels:
@@ -77,13 +78,17 @@ class LiveZone:
         plane_spec = execution_registry.resolve(execution, shards)
         self.execution = plane_spec.name
         self.zone_mode = plane_spec.zone_mode
+        self.transport = plane_spec.transport
         self.shards = plane_spec.shards
         self.shard_processes = shard_processes
+        self.net_processes = net_processes
         self.seed = seed
         #: Optional wire plane (see :meth:`attach_wire`): when set,
-        #: every round's cells are offered to tapped netsim links under
-        #: the zone's execution engine.
-        self.wire: Optional[WireFabric] = None
+        #: every round's cells are offered to tapped netsim links
+        #: (``"sim"`` transports) or carried as real loopback
+        #: datagrams (the ``asyncio`` plane) under the zone's
+        #: execution engine.
+        self.wire: Optional[CellTransport] = None
         if bed is None:
             bed = build_testbed([(zone_id, "dc-eu", 1)], seed=seed)
         self.bed: HerdTestbed = bed
@@ -489,21 +494,27 @@ class LiveZone:
 
     def attach_wire(self, observer=None,
                     interval: float = DEFAULT_ROUND_INTERVAL_S
-                    ) -> WireFabric:
+                    ) -> CellTransport:
         """Materialize the zone's wire plane: from the next round on,
         every cell is offered to tapped netsim links under the zone's
         execution engine (per-cell events, per-round batches, or
         run-length vector segments — the tap records byte-identical
-        streams under all of them).  The adversary observes via
-        ``fabric.observer``; further taps subscribe through
-        ``fabric.add_tap`` (:mod:`repro.netsim.taps`).  Sharded
-        engines defer tap fan-out — call ``fabric.finalize()``
-        before reading observations."""
-        self.wire = WireFabric(seed=self.seed, interval=interval,
-                               execution=self.execution,
-                               observer=observer,
-                               shards=self.shards,
-                               shard_processes=self.shard_processes)
+        streams under all of them), or — on the ``asyncio`` plane —
+        physically transmitted as framed loopback UDP datagrams and
+        tapped on receive (DESIGN.md §14).  The concrete
+        :class:`~repro.core.transport.CellTransport` resolves through
+        :func:`repro.execution.create_wire_fabric`; this module
+        imports neither implementation's socket machinery.  The
+        adversary observes via ``fabric.observer``; further taps
+        subscribe through ``fabric.add_tap``
+        (:mod:`repro.netsim.taps`).  Sharded engines defer tap
+        fan-out — call ``fabric.finalize()`` before reading
+        observations."""
+        self.wire = execution_registry.create_wire_fabric(
+            self.execution, seed=self.seed, interval=interval,
+            observer=observer, shards=self.shards,
+            shard_processes=self.shard_processes,
+            net_processes=self.net_processes)
         if self.prof is not None:
             self.wire.set_profiler(self.prof)
         return self.wire

@@ -44,6 +44,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro import execution as execution_registry
+from repro.core.transport import CellTransport
 from repro.netsim.engine import EventLoop
 from repro.netsim.link import Link
 from repro.netsim.node import Node
@@ -70,7 +71,7 @@ def _noop_batch(_batch) -> None:
     return None
 
 
-class WireFabric:
+class WireFabric(CellTransport):
     """A zone's wire plane: cells offered to tapped links per round.
 
     Usage: construct, assign to ``zone.wire``, and every
@@ -113,6 +114,12 @@ class WireFabric:
                  shards: Optional[int] = None,
                  shard_processes: Optional[bool] = None):
         spec = execution_registry.resolve(execution, shards)
+        if spec.transport != "sim":
+            raise ValueError(
+                f"execution plane {spec.name!r} runs on the "
+                f"{spec.transport!r} transport; build it through "
+                f"repro.execution.create_wire_fabric, not "
+                f"WireFabric")
         self.execution = spec.name
         self.wire_mode = spec.wire_mode
         self.shards = spec.shards

@@ -4,11 +4,13 @@ DESIGN.md §13: ``SimConfig(execution=...)`` and every CLI ``--engine``
 flag resolve through :mod:`repro.execution` — one registry owning the
 mapping from an engine name to how the zone steps (``zone_mode``),
 how the wire plane carries a round (``wire_mode``), and whether the
-plane shards across worker processes.  These tests pin the registry
-surface, its validation errors, and the facade integration (including
-the report-vocabulary satellite: ``RunReport.engine`` /
-``RunReport.shards`` everywhere, ``ScenarioReport.execution`` as a
-one-cycle deprecated alias).
+plane shards across worker processes — plus, since the real-network
+plane landed, which *transport* carries the wire image (``sim`` in
+memory vs ``udp`` loopback datagrams).  These tests pin the registry
+surface, its validation errors, the facade integration
+(``RunReport.engine`` / ``RunReport.shards`` everywhere), and the
+*completed* deprecation cycle: ``ScenarioReport.execution`` and the
+``--execution`` CLI flag warned for one cycle (PR 9) and now raise.
 """
 
 import pytest
@@ -20,7 +22,7 @@ from repro.api import RunReport, SimConfig, Simulation
 class TestRegistry:
     def test_registered_planes(self):
         assert set(execution.plane_names()) >= {"event", "batch",
-                                               "batch-v2"}
+                                                "batch-v2", "asyncio"}
 
     def test_plane_specs(self):
         event = execution.get_plane("event")
@@ -32,6 +34,33 @@ class TestRegistry:
         v2 = execution.get_plane("batch-v2")
         assert (v2.zone_mode, v2.wire_mode) == ("batch", "vector")
         assert v2.supports_shards
+
+    def test_transport_axis(self):
+        # Every simulator plane runs on the "sim" transport; the
+        # asyncio plane is the only one on real sockets.
+        for name in ("event", "batch", "batch-v2"):
+            assert execution.get_plane(name).transport == "sim"
+        net = execution.get_plane("asyncio")
+        assert net.transport == "udp"
+        assert (net.zone_mode, net.wire_mode) == ("batch", "socket")
+        assert not net.supports_shards
+
+    def test_create_wire_fabric_seam(self):
+        # The transport seam hands protocol code a CellTransport
+        # without it importing the simulator or socket module.
+        from repro.core.transport import CellTransport
+        fabric = execution.create_wire_fabric("batch-v2", seed=1)
+        assert isinstance(fabric, CellTransport)
+        assert fabric.net_report() is None
+        net = execution.create_wire_fabric("asyncio", seed=1)
+        assert isinstance(net, CellTransport)
+        assert type(net).__name__ == "UdpFabric"
+        net.finalize()
+
+    def test_wirefabric_rejects_udp_planes(self):
+        from repro.simulation.roundsync import WireFabric
+        with pytest.raises(ValueError, match="create_wire_fabric"):
+            WireFabric(seed=1, execution="asyncio")
 
     def test_unknown_name_suggests(self):
         with pytest.raises(ValueError, match="batch-v2"):
@@ -73,19 +102,29 @@ class TestFacadeIntegration:
         assert report.shards == 1
         assert report.detail["engine"] == "batch"
 
-    def test_scenario_report_execution_alias_deprecated(self):
+    def test_scenario_report_execution_alias_removed(self):
         from repro.scenario import run_scenario
         from repro.scenario.loader import load_scenario
         scenario = load_scenario("scenarios/00-baseline.toml")
         report = run_scenario(scenario, execution="batch")
         assert report.engine == "batch"
-        with pytest.warns(DeprecationWarning, match="engine"):
-            assert report.execution == "batch"
+        # The PR-9 deprecation cycle is complete: the alias raises.
+        with pytest.raises(AttributeError, match="engine"):
+            report.execution
         artifact = report.to_artifact_dict()
-        # Canonical key plus the one-cycle dict alias.
         assert artifact["engine"] == "batch"
-        assert artifact["execution"] == "batch"
+        assert "execution" not in artifact
         assert artifact["shards"] == 1
+
+    def test_simconfig_net_processes_validation(self):
+        with pytest.raises(ValueError, match="transport"):
+            SimConfig(seed=1, execution="batch-v2",
+                      net_processes=True)
+        cfg = SimConfig(seed=1, execution="asyncio",
+                        net_processes=True)
+        assert cfg.net_processes is True
+        assert SimConfig(seed=1, execution="asyncio").net_processes \
+            is False
 
     def test_runreport_engine_default(self):
         report = RunReport(scenario="live", seed=0, rounds_run=0,
@@ -97,7 +136,7 @@ class TestFacadeIntegration:
 class TestCLIVocabulary:
     """Satellite: ``repro metrics`` / ``repro scenario`` / ``repro
     bench`` all speak ``--engine`` / ``--shards``; ``--execution``
-    stays one cycle as a warning alias."""
+    finished its deprecation cycle and is now a hard parse error."""
 
     def test_metrics_engine_flag(self, capsys):
         from repro.cli import main
@@ -106,12 +145,23 @@ class TestCLIVocabulary:
         out = capsys.readouterr().out
         assert "herd_" in out
 
-    def test_metrics_execution_alias_warns(self, capsys):
+    def test_metrics_execution_alias_removed(self, capsys):
         from repro.cli import main
-        assert main(["metrics", "--execution", "batch", "--rounds",
-                     "5", "--format", "json"]) == 0
+        with pytest.raises(SystemExit) as exc:
+            main(["metrics", "--execution", "batch", "--rounds",
+                  "5", "--format", "json"])
+        assert exc.value.code == 2
         err = capsys.readouterr().err
-        assert "deprecated" in err and "--engine" in err
+        assert "removed" in err and "--engine" in err
+
+    def test_scenario_execution_alias_removed(self, capsys):
+        from repro.cli import main
+        with pytest.raises(SystemExit) as exc:
+            main(["scenario", "run", "scenarios/00-baseline.toml",
+                  "--execution", "batch"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "removed" in err and "--engine" in err
 
     def test_scenario_engine_flag(self, capsys):
         from repro.cli import main

@@ -1,0 +1,184 @@
+"""Property tests for the wire codecs (control messages + frames).
+
+Two satellite contracts pinned here:
+
+* encode→decode is the identity for every entry in
+  :data:`repro.core.wire.MESSAGE_TYPES` — the codec table stays
+  exhaustive as new MSG_ constants land (herdlint HL006 checks the
+  dispatch side; this checks the codec side);
+* the datagram frame codec of the real-network plane is total on
+  hostile input: truncated, oversized, or garbage datagrams raise the
+  typed :class:`~repro.core.wire.WireFormatError` — never a raw
+  ``struct.error`` or ``UnicodeDecodeError`` — because a socket
+  endpoint feeds it whatever arrives on the port.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import CreateReply, CreateRequest
+from repro.core.wire import (
+    MAX_FRAME_PAYLOAD,
+    MESSAGE_TYPES,
+    CallSetup,
+    CellFrame,
+    FRAME_KINDS,
+    JoinRequest,
+    JoinResponse,
+    RendezvousRegister,
+    WireFormatError,
+    decode_call_setup,
+    decode_cell_frame,
+    decode_create,
+    decode_created,
+    decode_join_request,
+    decode_join_response,
+    decode_rendezvous_register,
+    encode_call_setup,
+    encode_cell_frame,
+    encode_create,
+    encode_created,
+    encode_join_request,
+    encode_join_response,
+    encode_rendezvous_register,
+)
+
+u64 = st.integers(min_value=0, max_value=2**64 - 1)
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+u16 = st.integers(min_value=0, max_value=2**16 - 1)
+key32 = st.binary(min_size=32, max_size=32)
+confirmation16 = st.binary(min_size=16, max_size=16)
+name = st.text(min_size=0, max_size=64)
+
+
+# One round-trip strategy per MESSAGE_TYPES entry.  MSG_INVITE and
+# MSG_ACCEPT share the CallSetup codec, switched by ``is_accept``.
+_ROUNDTRIPS = {
+    "MSG_CREATE": (
+        st.builds(CreateRequest, u64, key32),
+        encode_create, decode_create),
+    "MSG_CREATED": (
+        st.builds(CreateReply, u64, key32, confirmation16),
+        encode_created, decode_created),
+    "MSG_JOIN_REQUEST": (
+        st.builds(JoinRequest, name, key32),
+        encode_join_request, decode_join_request),
+    "MSG_JOIN_RESPONSE": (
+        st.builds(JoinResponse, u64, key32,
+                  st.lists(st.tuples(name, u16, u16),
+                           max_size=8).map(tuple)),
+        encode_join_response, decode_join_response),
+    "MSG_RENDEZVOUS_REGISTER": (
+        st.builds(RendezvousRegister, key32, name),
+        encode_rendezvous_register, decode_rendezvous_register),
+    "MSG_INVITE": (
+        st.builds(CallSetup, st.just(False), u64, key32),
+        encode_call_setup, decode_call_setup),
+    "MSG_ACCEPT": (
+        st.builds(CallSetup, st.just(True), u64, key32),
+        encode_call_setup, decode_call_setup),
+}
+
+
+def test_roundtrip_table_is_exhaustive():
+    # A new MSG_ constant must grow a strategy here, or this fails
+    # before the property tests silently skip it.
+    assert set(_ROUNDTRIPS) == set(MESSAGE_TYPES)
+
+
+@pytest.mark.parametrize("msg_name", sorted(MESSAGE_TYPES))
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_control_message_roundtrip(msg_name, data):
+    strategy, encode, decode = _ROUNDTRIPS[msg_name]
+    message = data.draw(strategy)
+    assert decode(encode(message)) == message
+
+
+frames = st.builds(
+    CellFrame,
+    round_index=u32, run=u32, seq=u32,
+    kind=st.sampled_from(FRAME_KINDS),
+    src=name, dst=name,
+    payload=st.binary(max_size=512))
+
+
+class TestCellFrameCodec:
+    @settings(max_examples=100, deadline=None)
+    @given(frame=frames)
+    def test_roundtrip_identity(self, frame):
+        assert decode_cell_frame(encode_cell_frame(frame)) == frame
+
+    @settings(max_examples=50, deadline=None)
+    @given(frame=frames, data=st.data())
+    def test_truncation_raises_typed(self, frame, data):
+        wire = encode_cell_frame(frame)
+        cut = data.draw(st.integers(min_value=0,
+                                    max_value=len(wire) - 1))
+        with pytest.raises(WireFormatError):
+            decode_cell_frame(wire[:cut])
+
+    @settings(max_examples=50, deadline=None)
+    @given(frame=frames, junk=st.binary(min_size=1, max_size=16))
+    def test_trailing_bytes_raise_typed(self, frame, junk):
+        with pytest.raises(WireFormatError):
+            decode_cell_frame(encode_cell_frame(frame) + junk)
+
+    def test_oversized_payload_rejected_both_ways(self):
+        fat = CellFrame(round_index=0, run=0, seq=0, kind="data",
+                        src="a", dst="b",
+                        payload=b"\x00" * (MAX_FRAME_PAYLOAD + 1))
+        with pytest.raises(WireFormatError):
+            encode_cell_frame(fat)
+        # A hand-crafted frame that *declares* an oversized payload
+        # (the u16 length field tops out above MAX_FRAME_PAYLOAD)
+        # must be rejected on decode too.
+        size = MAX_FRAME_PAYLOAD + 1
+        wire = (b"HD" + bytes([1, 0]) +
+                struct.pack("<III", 0, 0, 0) +
+                struct.pack("<H", 1) + b"a" +
+                struct.pack("<H", 1) + b"b" +
+                struct.pack("<H", size) + b"\x00" * size)
+        with pytest.raises(WireFormatError):
+            decode_cell_frame(wire)
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.binary(max_size=64))
+    def test_garbage_never_leaks_struct_error(self, data):
+        # Total on arbitrary input: decode either succeeds or raises
+        # the typed error — struct.error / UnicodeDecodeError are
+        # implementation details that must never reach the socket
+        # plane's malformed-datagram counter.
+        try:
+            decode_cell_frame(data)
+        except WireFormatError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(frame=frames, data=st.data())
+    def test_mutated_header_never_leaks_struct_error(self, frame,
+                                                     data):
+        # Flip one byte anywhere in a valid frame: still total.
+        wire = bytearray(encode_cell_frame(frame))
+        pos = data.draw(st.integers(min_value=0,
+                                    max_value=len(wire) - 1))
+        wire[pos] ^= data.draw(st.integers(min_value=1,
+                                           max_value=255))
+        try:
+            decode_cell_frame(bytes(wire))
+        except WireFormatError:
+            pass
+
+    def test_bad_magic_version_kind(self):
+        good = encode_cell_frame(CellFrame(
+            round_index=1, run=2, seq=3, kind="chaff",
+            src="sp-0", dst="mix", payload=b"x" * 16))
+        with pytest.raises(WireFormatError, match="magic"):
+            decode_cell_frame(b"XX" + good[2:])
+        with pytest.raises(WireFormatError, match="version"):
+            decode_cell_frame(good[:2] + b"\x09" + good[3:])
+        with pytest.raises(WireFormatError, match="kind"):
+            decode_cell_frame(good[:3] + b"\x7f" + good[4:])
